@@ -1,0 +1,50 @@
+"""Ablation (§3.1): GMLake's uniform physical chunk size.
+
+The paper fixes 2 MB chunks for "the best defragmentation effect" and
+accepts the per-chunk API cost.  This bench sweeps the chunk size and
+shows the trade-off the paper describes: larger chunks cut the warm-up
+driver time (fewer create/map/setAccess calls) but round every block up
+further, costing utilization.
+"""
+
+from repro.analysis import format_table
+from repro.core import GMLakeConfig
+from repro.sim.engine import gmlake_factory, run_workload
+from repro.units import MB
+from repro.workloads import TrainingWorkload
+
+CHUNKS = [2 * MB, 8 * MB, 32 * MB, 128 * MB]
+
+
+def measure():
+    out = {}
+    workload = TrainingWorkload("opt-13b", batch_size=4, n_gpus=4,
+                                strategies="LR", iterations=8)
+    for chunk in CHUNKS:
+        config = GMLakeConfig(chunk_size=chunk, small_threshold=chunk,
+                              fragmentation_limit=chunk)
+        out[chunk] = run_workload(workload, gmlake_factory(config))
+    return out
+
+
+def test_ablation_chunk_size(benchmark, report):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        {
+            "chunk": f"{chunk // MB}MB",
+            "utilization": round(results[chunk].utilization_ratio, 3),
+            "reserved (GB)": round(results[chunk].peak_reserved_gb, 2),
+            "driver time (ms)": round(results[chunk].driver_time_us / 1e3, 1),
+            "thru (smp/s)": round(results[chunk].throughput_samples_per_s, 2),
+        }
+        for chunk in CHUNKS
+    ]
+    report(format_table(
+        rows, title="Ablation — GMLake chunk size (paper picks 2 MB: "
+                    "best utilization, driver cost amortized by caching)"))
+
+    # 2 MB chunks give the best (lowest) reserved memory...
+    reserved = [results[c].peak_reserved_bytes for c in CHUNKS]
+    assert reserved[0] == min(reserved)
+    # ...while large chunks spend less driver time warming up.
+    assert results[CHUNKS[-1]].driver_time_us < results[CHUNKS[0]].driver_time_us

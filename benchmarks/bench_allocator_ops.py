@@ -1,0 +1,67 @@
+"""Host-side allocator operation microbenchmarks (real wall-clock).
+
+Unlike the figure benches (which measure *simulated* time), this bench
+uses pytest-benchmark's actual timing to track the Python-level cost of
+the allocator fast paths — the converged exact-match cycle the paper's
+§4.2.2 relies on being cheap.
+"""
+
+import pytest
+
+from repro.allocators import CachingAllocator
+from repro.core import GMLakeAllocator
+from repro.gpu.device import GpuDevice
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def warm_gmlake():
+    allocator = GMLakeAllocator(GpuDevice(capacity=8 * GB))
+    sizes = [6 * MB, 14 * MB, 30 * MB, 64 * MB]
+    for _ in range(3):  # warm the pools so the loop below is all S1
+        cycle(allocator, sizes)
+    return allocator, sizes
+
+
+@pytest.fixture
+def warm_caching():
+    allocator = CachingAllocator(GpuDevice(capacity=8 * GB))
+    sizes = [6 * MB, 14 * MB, 30 * MB, 64 * MB]
+    for size in sizes:
+        allocator.free(allocator.malloc(size))
+    return allocator, sizes
+
+
+def cycle(allocator, sizes):
+    allocations = [allocator.malloc(size) for size in sizes]
+    for allocation in allocations:
+        allocator.free(allocation)
+
+
+def test_gmlake_exact_match_cycle(benchmark, warm_gmlake):
+    allocator, sizes = warm_gmlake
+    allocs_before = allocator.counters.alloc_pblocks
+    benchmark(cycle, allocator, sizes)
+    # The warm cycle must be pure exact-match: no new physical blocks
+    # regardless of how many rounds the benchmark ran.
+    assert allocator.counters.alloc_pblocks == allocs_before
+
+
+def test_caching_cache_hit_cycle(benchmark, warm_caching):
+    allocator, sizes = warm_caching
+    benchmark(cycle, allocator, sizes)
+    allocator.check_invariants()
+
+
+def test_gmlake_cold_stitch_cycle(benchmark):
+    """Cold path: every (distinct) size triggers split/stitch work."""
+    def run():
+        allocator = GMLakeAllocator(GpuDevice(capacity=8 * GB))
+        a = allocator.malloc(64 * MB)
+        b = allocator.malloc(64 * MB)
+        allocator.free(a)
+        allocator.free(b)
+        big = allocator.malloc(128 * MB)  # stitch
+        allocator.free(big)
+        allocator.malloc(32 * MB)  # split
+    benchmark(run)

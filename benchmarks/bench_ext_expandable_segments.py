@@ -1,0 +1,62 @@
+"""Extension: GMLake vs PyTorch's expandable segments.
+
+The paper's technique influenced PyTorch's later
+``expandable_segments:True`` allocator, which uses the same VMM API but
+grows segments *in place* instead of stitching free blocks.  Growing in
+place removes segment-boundary waste (freed neighbours always
+coalesce), but a request larger than every hole still forces growth —
+only stitching can fuse disjoint holes.
+
+Expected ordering on the paper's workloads, verified here:
+
+    caching (BFC)  <=  expandable segments  <=  GMLake   (utilization)
+"""
+
+from repro.analysis import format_table
+from repro.sim.engine import run_workload
+from repro.workloads import TrainingWorkload
+
+CELLS = [
+    ("opt-1.3b", 8, "LR"),
+    ("opt-13b", 4, "LR"),
+    ("opt-13b", 4, "RO"),
+    ("gpt-neox-20b", 2, "LRO"),
+]
+
+
+def measure():
+    out = {}
+    for model, batch, combo in CELLS:
+        workload = TrainingWorkload(model, batch_size=batch, n_gpus=4,
+                                    strategies=combo, iterations=8)
+        out[(model, combo)] = {
+            name: run_workload(workload, name)
+            for name in ("caching", "expandable", "gmlake")
+        }
+    return out
+
+
+def test_ext_expandable_segments(benchmark, report):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    for (model, combo), by_alloc in results.items():
+        rows.append({
+            "workload": f"{model}/{combo}",
+            "UR caching": round(by_alloc["caching"].utilization_ratio, 3),
+            "UR expandable": round(by_alloc["expandable"].utilization_ratio, 3),
+            "UR gmlake": round(by_alloc["gmlake"].utilization_ratio, 3),
+            "RM caching (GB)": round(by_alloc["caching"].peak_reserved_gb, 2),
+            "RM expandable (GB)": round(by_alloc["expandable"].peak_reserved_gb, 2),
+            "RM gmlake (GB)": round(by_alloc["gmlake"].peak_reserved_gb, 2),
+        })
+    report(format_table(
+        rows, title="Extension — expandable segments (PyTorch's later VMM "
+                    "allocator): caching <= expandable <= GMLake"))
+
+    for by_alloc in results.values():
+        caching = by_alloc["caching"].utilization_ratio
+        expandable = by_alloc["expandable"].utilization_ratio
+        gmlake = by_alloc["gmlake"].utilization_ratio
+        assert caching <= expandable + 0.02
+        assert expandable <= gmlake + 0.02
+        assert gmlake > 0.95

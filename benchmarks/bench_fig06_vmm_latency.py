@@ -1,0 +1,59 @@
+"""Figure 6: allocation latency of the VMM allocator vs the native
+allocator, for chunk sizes 2 MB .. 1 GB and blocks of 512 MB / 1 GB /
+2 GB.
+
+Paper shape: at 2 MB chunks the VMM path is over 100x slower than
+``cudaMalloc`` (115x for the 2 GB block); at 1 GB chunks it is within
+~1.5x.  Latency falls monotonically as chunks grow.
+
+The bench exercises the *live* simulated driver (VmmNaiveAllocator), not
+just the latency formulas, so it also validates the allocator's call
+pattern.
+"""
+
+import pytest
+
+from repro.allocators import VmmNaiveAllocator
+from repro.analysis import format_table
+from repro.gpu.device import GpuDevice
+from repro.units import GB, MB
+
+CHUNK_SIZES = [2 * MB * (1 << i) for i in range(10)]  # 2 MB .. 1 GB
+BLOCK_SIZES = [512 * MB, 1 * GB, 2 * GB]
+
+
+def measure():
+    out = {}
+    for chunk in CHUNK_SIZES:
+        for block in BLOCK_SIZES:
+            device = GpuDevice(capacity=4 * GB)
+            allocator = VmmNaiveAllocator(device, chunk_size=chunk)
+            t0 = device.clock.now_us
+            allocation = allocator.malloc(block)
+            out[(chunk, block)] = device.clock.now_us - t0
+            allocator.free(allocation)
+    native = GpuDevice().latency.cuda_malloc(2 * GB)
+    return out, native
+
+
+def test_fig06_vmm_latency(benchmark, report):
+    measured, native_us = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = [{"chunk": "native",
+             **{f"{b // MB}MB": f"{GpuDevice().latency.cuda_malloc(b) / 1000:.2f}ms"
+                for b in BLOCK_SIZES}}]
+    for chunk in CHUNK_SIZES:
+        rows.append({
+            "chunk": f"{chunk // MB}MB",
+            **{f"{b // MB}MB": f"{measured[(chunk, b)] / 1000:.2f}ms"
+               for b in BLOCK_SIZES},
+        })
+    report(format_table(
+        rows, title="Figure 6 — VMM allocation latency vs chunk size "
+                    "(paper: 2MB chunks are ~115x native; monotone decline)"))
+
+    # Shape assertions: monotone decline, >100x at 2 MB, ~native at 1 GB.
+    curve = [measured[(chunk, 2 * GB)] for chunk in CHUNK_SIZES]
+    assert all(a > b for a, b in zip(curve, curve[1:]))
+    assert curve[0] / native_us > 100
+    assert curve[-1] / native_us < 3

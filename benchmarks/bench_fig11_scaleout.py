@@ -1,0 +1,54 @@
+"""Figure 11 (a-f): GPU scale-out 1->16, caching vs GMLake, for
+OPT-13B, Vicuna-13B and GPT-NeoX-20B with LR strategies on DeepSpeed
+ZeRO-3: utilization ratio, reserved memory and throughput.
+
+Paper shape: baseline utilization decays toward ~76-80% at 16 GPUs;
+GMLake maintains ~90%+ (up to 23% / 17 GB better on GPT-NeoX-20B) at
+indistinguishable throughput that scales with the GPU count.
+"""
+
+from repro.analysis import format_table, scaleout_sweep
+
+MODELS = {"opt-13b": 4, "vicuna-13b": 4, "gpt-neox-20b": 2}
+GPU_COUNTS = (1, 2, 4, 8, 16)
+
+
+def measure():
+    return {
+        model: scaleout_sweep(model, batch_size=batch, gpu_counts=GPU_COUNTS)
+        for model, batch in MODELS.items()
+    }
+
+
+def test_fig11_scaleout(benchmark, report):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for model, rows in results.items():
+        table = []
+        for row in rows:
+            table.append({
+                "GPUs": row.baseline.meta["n_gpus"],
+                "RM base (GB)": round(row.baseline.peak_reserved_gb, 1),
+                "RM GML (GB)": round(row.gmlake.peak_reserved_gb, 1),
+                "UR base": round(row.baseline.utilization_ratio, 3),
+                "UR GML": round(row.gmlake.utilization_ratio, 3),
+                "thru base": round(row.baseline.throughput_samples_per_s, 2),
+                "thru GML": round(row.gmlake.throughput_samples_per_s, 2),
+            })
+        report(format_table(
+            table,
+            title=f"Figure 11 — {model}, GPU scale-out (paper: GMLake "
+                  "~90% util at 16 GPUs vs baseline ~76-81%)",
+        ))
+
+    for model, rows in results.items():
+        base_utils = [r.baseline.utilization_ratio for r in rows]
+        gml_utils = [r.gmlake.utilization_ratio for r in rows]
+        # Baseline decays with scale; GMLake stays high everywhere.
+        assert base_utils[-1] < base_utils[0]
+        assert min(gml_utils) > 0.9
+        # Throughput scales and matches the baseline within 15%.
+        for row in rows:
+            if row.throughput_ratio is not None:
+                assert row.throughput_ratio > 0.85
+        thru = [r.gmlake.throughput_samples_per_s for r in rows]
+        assert thru[-1] > 4 * thru[0]

@@ -1,0 +1,59 @@
+"""Figure 13 (a-f): end-to-end batch-size sweeps with OOM markers, for
+OPT-1.3B, OPT-13B and GPT-NeoX-20B (LoRA + recompute + ZeRO-3, 4 GPUs).
+
+Paper shape: reserved memory grows with batch size; the PyTorch caching
+allocator hits OOM at a smaller batch than GMLake on every model
+(OPT-1.3B 249, OPT-13B 120, GPT-NeoX-20B 72 run fine on GMLake while
+PyTorch OOMs); throughput stays comparable until the OOM point.
+"""
+
+from repro.analysis import format_table
+from repro.analysis.experiments import batch_sweep, first_oom_batch
+
+SWEEPS = {
+    "opt-1.3b": (32, 64, 128, 192, 224, 256),
+    "opt-13b": (20, 40, 60, 80, 100, 120),
+    "gpt-neox-20b": (12, 24, 36, 48, 60, 72),
+}
+
+
+def measure():
+    return {
+        model: batch_sweep(model, batch_sizes=batches)
+        for model, batches in SWEEPS.items()
+    }
+
+
+def test_fig13_batchsize(benchmark, report):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for model, rows in results.items():
+        table = []
+        for row in rows:
+            def cell(result):
+                if result.oom:
+                    return f"OOM@it{result.oom_iteration}"
+                return (f"{result.peak_reserved_gb:.1f}GB/"
+                        f"{result.utilization_ratio:.0%}/"
+                        f"{result.throughput_samples_per_s:.2f}smp/s")
+            table.append({
+                "batch": row.baseline.meta["batch_size"],
+                "caching (RM/UR/thru)": cell(row.baseline),
+                "GMLake (RM/UR/thru)": cell(row.gmlake),
+            })
+        report(format_table(
+            table, title=f"Figure 13 — {model} batch sweep "
+                         "(paper: baseline OOMs first)"))
+
+    for model, rows in results.items():
+        oom_base = first_oom_batch(rows, "baseline")
+        oom_gml = first_oom_batch(rows, "gmlake")
+        # The baseline OOMs somewhere in each sweep, and GMLake never
+        # OOMs earlier.
+        assert oom_base is not None, f"{model}: baseline never OOMed"
+        assert oom_gml is None or oom_gml >= oom_base
+        # Before OOM, GMLake reserves no more memory than the baseline.
+        for row in rows:
+            if not row.baseline.oom and not row.gmlake.oom:
+                assert row.gmlake.peak_reserved_bytes <= (
+                    row.baseline.peak_reserved_bytes + (64 << 20)
+                )

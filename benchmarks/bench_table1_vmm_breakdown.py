@@ -1,0 +1,56 @@
+"""Table 1: VMM API execution-time breakdown, normalized to cuMemAlloc.
+
+Paper (2 GB allocation):
+
+    Chunk size      2 MB   128 MB   1024 MB
+    cuMemReserve    0.003   0.003     0.002
+    cuMemCreate    18.1     0.89      0.79
+    cuMemMap        0.70    0.01      0.002
+    cuMemSetAccess 96.8     8.2       0.7
+    Total         115.4     9.1       1.5
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.gpu.latency import LatencyModel
+from repro.units import GB, MB
+
+PAPER = {
+    2 * MB: {"cuMemReserve": 0.003, "cuMemCreate": 18.1, "cuMemMap": 0.70,
+             "cuMemSetAccess": 96.8, "Total": 115.4},
+    128 * MB: {"cuMemReserve": 0.003, "cuMemCreate": 0.89, "cuMemMap": 0.01,
+               "cuMemSetAccess": 8.2, "Total": 9.1},
+    1024 * MB: {"cuMemReserve": 0.002, "cuMemCreate": 0.79, "cuMemMap": 0.002,
+                "cuMemSetAccess": 0.7, "Total": 1.5},
+}
+
+
+def measure():
+    latency = LatencyModel()
+    return {chunk: latency.vmm_breakdown(2 * GB, chunk) for chunk in PAPER}
+
+
+def test_table1_vmm_breakdown(benchmark, report):
+    measured = benchmark.pedantic(measure, rounds=3, iterations=1)
+
+    rows = []
+    for chunk, paper_row in PAPER.items():
+        for api, paper_value in paper_row.items():
+            rows.append({
+                "chunk": f"{chunk // MB}MB",
+                "API": api,
+                "paper": paper_value,
+                "measured": round(measured[chunk][api], 3),
+            })
+    report(format_table(
+        rows, title="Table 1 — VMM API breakdown for a 2 GB allocation "
+                     "(units of cuMemAlloc time)"))
+
+    for chunk, paper_row in PAPER.items():
+        assert measured[chunk]["Total"] == pytest.approx(
+            paper_row["Total"], rel=0.05
+        )
+        assert measured[chunk]["cuMemCreate"] == pytest.approx(
+            paper_row["cuMemCreate"], rel=0.05
+        )

@@ -1,0 +1,34 @@
+"""Benchmark-suite plumbing.
+
+Benches run under ``pytest benchmarks/ --benchmark-only``.  pytest
+captures stdout, so each bench registers its result tables through the
+``report`` fixture; a terminal-summary hook prints every registered
+table after the benchmark timings, which is what lands in
+``bench_output.txt``.
+"""
+
+from typing import List
+
+import pytest
+
+_REPORTS: List[str] = []
+
+
+@pytest.fixture
+def report():
+    """Register a formatted table for the end-of-run summary."""
+
+    def _add(text: str) -> None:
+        _REPORTS.append(text)
+
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

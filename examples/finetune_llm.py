@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Fine-tune an LLM (simulated) under PyTorch's caching allocator vs
+GMLake — the paper's Figure 10 experiment for one model.
+
+Generates the allocation trace of OPT-13B fine-tuning on 4 GPUs with
+ZeRO-3 under every strategy combination (none / recompute / +LoRA /
++offload), replays it under both allocators, and prints utilization,
+reserved memory and throughput side by side.
+
+Run:  python examples/finetune_llm.py [model] [batch]
+"""
+
+import sys
+
+from repro.analysis import format_table, strategy_sweep
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "opt-13b"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+
+    print(f"fine-tuning {model} (batch {batch}/GPU, 4 GPUs, ZeRO-3)")
+    print("strategies: N=none R=recompute L=LoRA O=offload\n")
+
+    rows = strategy_sweep(model, batch_size=batch)
+    table = []
+    for row in rows:
+        combo = row.baseline.meta["strategies"]
+        table.append({
+            "strategy": combo,
+            "RM caching (GB)": round(row.baseline.peak_reserved_gb, 2),
+            "RM GMLake (GB)": round(row.gmlake.peak_reserved_gb, 2),
+            "UR caching": round(row.baseline.utilization_ratio, 3),
+            "UR GMLake": round(row.gmlake.utilization_ratio, 3),
+            "saved (GB)": round(row.reserved_saving_gb, 2),
+            "thru ratio": round(row.throughput_ratio or 0.0, 2),
+        })
+    print(format_table(table))
+    print(
+        "\nGMLake holds ~100% utilization while the caching allocator "
+        "fragments as strategies stack — the paper's Figure 10 shape."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — a full reproduction of **GMLake** (ASPLOS 2024).
+
+GMLake is a GPU memory allocator that defragments DNN-training memory by
+*virtual memory stitching*: fusing non-contiguous physical chunks behind
+contiguous virtual addresses using CUDA's low-level VMM API.
+
+This package rebuilds the entire system in pure Python on a simulated
+GPU substrate:
+
+>>> from repro import GpuDevice, GMLakeAllocator, CachingAllocator
+>>> device = GpuDevice()                      # one simulated A100-80GB
+>>> allocator = GMLakeAllocator(device)
+>>> tensor = allocator.malloc(300 * 1024 * 1024)
+>>> allocator.free(tensor)
+>>> allocator.stats().utilization_ratio
+1.0
+
+Higher layers generate LLM fine-tuning allocation traces
+(:mod:`repro.workloads`), replay them against any allocator
+(:mod:`repro.sim`), and regenerate every table and figure of the paper
+(:mod:`repro.analysis` + the ``benchmarks/`` directory).
+"""
+
+from repro.allocators import (
+    Allocation,
+    AllocatorStats,
+    BaseAllocator,
+    CachingAllocator,
+    ExpandableSegmentsAllocator,
+    NativeAllocator,
+    VmmNaiveAllocator,
+)
+from repro.core import GMLakeAllocator, GMLakeConfig
+from repro.errors import (
+    AllocatorError,
+    CudaError,
+    CudaOutOfMemoryError,
+    OutOfMemoryError,
+    ReproError,
+)
+from repro.gpu import GpuDevice, LatencyModel, SimClock
+from repro.units import GB, KB, MB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "AllocatorStats",
+    "BaseAllocator",
+    "CachingAllocator",
+    "ExpandableSegmentsAllocator",
+    "NativeAllocator",
+    "VmmNaiveAllocator",
+    "GMLakeAllocator",
+    "GMLakeConfig",
+    "GpuDevice",
+    "LatencyModel",
+    "SimClock",
+    "ReproError",
+    "CudaError",
+    "CudaOutOfMemoryError",
+    "AllocatorError",
+    "OutOfMemoryError",
+    "KB",
+    "MB",
+    "GB",
+    "__version__",
+]

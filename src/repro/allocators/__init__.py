@@ -1,0 +1,37 @@
+"""Allocator implementations.
+
+All allocators share the :class:`~repro.allocators.base.BaseAllocator`
+interface (``malloc`` / ``free`` / ``stats`` / ``empty_cache``) so the
+simulation engine and every experiment treat them interchangeably —
+mirroring the paper's claim that GMLake is a transparent drop-in for the
+PyTorch caching allocator.
+
+Implementations:
+
+- :class:`~repro.allocators.native.NativeAllocator` — one
+  ``cudaMalloc``/``cudaFree`` per tensor (§2.2 "native allocator").
+- :class:`~repro.allocators.caching.CachingAllocator` — the PyTorch /
+  TensorFlow best-fit-with-coalescing (BFC) caching allocator (§2.2),
+  the baseline of every figure.
+- :class:`~repro.allocators.vmm_naive.VmmNaiveAllocator` — the unpooled
+  VMM allocator of §2.5, used for the Figure 6 / Table 1 microbenches.
+- :class:`repro.core.allocator.GMLakeAllocator` — the paper's
+  contribution (lives in :mod:`repro.core`).
+"""
+
+from repro.allocators.base import Allocation, BaseAllocator
+from repro.allocators.caching import CachingAllocator
+from repro.allocators.expandable import ExpandableSegmentsAllocator
+from repro.allocators.native import NativeAllocator
+from repro.allocators.stats import AllocatorStats
+from repro.allocators.vmm_naive import VmmNaiveAllocator
+
+__all__ = [
+    "Allocation",
+    "BaseAllocator",
+    "AllocatorStats",
+    "NativeAllocator",
+    "CachingAllocator",
+    "ExpandableSegmentsAllocator",
+    "VmmNaiveAllocator",
+]

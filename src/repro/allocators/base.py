@@ -1,0 +1,163 @@
+"""Common allocator interface and bookkeeping.
+
+Subclasses implement ``_malloc_impl`` / ``_free_impl`` and a
+``reserved_bytes`` property; the base class owns the live-allocation
+table, active-byte accounting, peak tracking, and the double-free /
+foreign-pointer contract checks, so every allocator reports statistics
+identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.allocators.stats import AllocatorStats
+from repro.errors import (
+    AllocatorError,
+    DoubleFreeError,
+    UnknownAllocationError,
+)
+from repro.gpu.device import GpuDevice
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A live allocation handed to a client (one tensor's storage).
+
+    Attributes
+    ----------
+    ptr:
+        Virtual device address of the storage.
+    size:
+        Size the client requested, in bytes.
+    rounded_size:
+        Size the allocator accounts for this allocation (after rounding
+        to its internal granularity); ``active_bytes`` sums these, like
+        PyTorch's ``allocated_bytes`` statistic.
+    alloc_id:
+        Monotonically increasing identifier, unique per allocator.
+    """
+
+    ptr: int
+    size: int
+    rounded_size: int
+    alloc_id: int
+
+
+@dataclass
+class _OpCounters:
+    malloc_count: int = 0
+    free_count: int = 0
+    host_time_us: float = 0.0
+
+
+class BaseAllocator(ABC):
+    """Abstract allocator over one :class:`~repro.gpu.device.GpuDevice`."""
+
+    def __init__(self, device: GpuDevice, name: Optional[str] = None):
+        self.device = device
+        self.name = name if name is not None else type(self).__name__
+        self._live: Dict[int, Allocation] = {}
+        self._next_id = 1
+        self._counters = _OpCounters()
+        self.active_bytes = 0
+        self.peak_active_bytes = 0
+        self.peak_reserved_bytes = 0
+        self._driver_time_at_start = device.driver_time_us()
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> Allocation:
+        """Allocate ``size`` bytes of device memory for a tensor.
+
+        Raises :class:`~repro.errors.OutOfMemoryError` when the request
+        cannot be satisfied even after the allocator's reclaim fallback.
+        """
+        if size <= 0:
+            raise AllocatorError(f"malloc size must be positive, got {size}")
+        ptr, rounded = self._malloc_impl(size)
+        alloc = Allocation(ptr=ptr, size=size, rounded_size=rounded,
+                           alloc_id=self._next_id)
+        self._next_id += 1
+        self._live[alloc.alloc_id] = alloc
+        self._counters.malloc_count += 1
+        self.active_bytes += rounded
+        self.peak_active_bytes = max(self.peak_active_bytes, self.active_bytes)
+        self._update_reserved_peak()
+        return alloc
+
+    def free(self, allocation: Allocation) -> None:
+        """Return an allocation to the allocator."""
+        live = self._live.get(allocation.alloc_id)
+        if live is None:
+            if allocation.alloc_id < self._next_id:
+                raise DoubleFreeError(
+                    f"allocation #{allocation.alloc_id} already freed"
+                )
+            raise UnknownAllocationError(
+                f"allocation #{allocation.alloc_id} was not issued by {self.name}"
+            )
+        del self._live[allocation.alloc_id]
+        self._free_impl(allocation)
+        self._counters.free_count += 1
+        self.active_bytes -= allocation.rounded_size
+        self._update_reserved_peak()
+
+    def empty_cache(self) -> None:
+        """Release every cached (unused) physical byte back to the device.
+
+        The default implementation is a no-op for allocators that cache
+        nothing (the native allocator).
+        """
+
+    def stats(self) -> AllocatorStats:
+        """Snapshot of this allocator's statistics."""
+        return AllocatorStats(
+            active_bytes=self.active_bytes,
+            reserved_bytes=self.reserved_bytes,
+            peak_active_bytes=self.peak_active_bytes,
+            peak_reserved_bytes=self.peak_reserved_bytes,
+            malloc_count=self._counters.malloc_count,
+            free_count=self._counters.free_count,
+            driver_time_us=self.device.driver_time_us() - self._driver_time_at_start,
+            host_time_us=self._counters.host_time_us,
+        )
+
+    @property
+    def live_allocation_count(self) -> int:
+        """Number of outstanding (not yet freed) allocations."""
+        return len(self._live)
+
+    @property
+    @abstractmethod
+    def reserved_bytes(self) -> int:
+        """Physical bytes this allocator currently holds on the device."""
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _malloc_impl(self, size: int) -> "tuple[int, int]":
+        """Allocate and return ``(ptr, rounded_size)``."""
+
+    @abstractmethod
+    def _free_impl(self, allocation: Allocation) -> None:
+        """Release the storage behind ``allocation``."""
+
+    # ------------------------------------------------------------------
+    def _update_reserved_peak(self) -> None:
+        self.peak_reserved_bytes = max(self.peak_reserved_bytes, self.reserved_bytes)
+
+    def _spend_host_time(self, us: float) -> None:
+        """Account host-side bookkeeping time (advances the sim clock)."""
+        self.device.clock.advance(us)
+        self._counters.host_time_us += us
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.name}(active={self.active_bytes}, "
+            f"reserved={self.reserved_bytes}, live={len(self._live)})"
+        )

@@ -1,0 +1,294 @@
+"""The best-fit-with-coalescing (BFC) caching allocator.
+
+A faithful reimplementation of the PyTorch CUDA caching allocator
+described in the paper's §2.2 and Figure 2(b), with PyTorch's constants:
+
+* sizes are rounded to 512 B;
+* requests ≤ 1 MB come from *small* segments of 2 MB;
+* requests in (1 MB, 10 MB) come from *large* segments of 20 MB;
+* larger requests allocate a dedicated segment rounded to 2 MB;
+* a best-fit free block is **split** when the remainder is large enough
+  (≥ 512 B in the small pool, > 1 MB in the large pool);
+* ``free`` marks the block inactive and **coalesces** it with free
+  neighbours inside the same segment;
+* segments are obtained with ``cudaMalloc`` and returned with
+  ``cudaFree`` only when wholly free — on allocation failure the
+  allocator first releases all wholly-free cached segments and retries
+  (PyTorch's ``release_cached_blocks`` fallback), then reports OOM.
+
+External fragmentation arises exactly as the paper describes: splitting
+under an irregular request stream strands free sub-blocks inside
+segments that can never be returned to the device nor merged across
+segment boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.allocators.base import Allocation, BaseAllocator
+from repro.errors import CudaOutOfMemoryError, OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.sortedlist import SortedKeyList
+from repro.units import MB, align_up
+
+# PyTorch CUDACachingAllocator constants.
+MIN_BLOCK_SIZE = 512
+SMALL_SIZE = 1 * MB
+SMALL_BUFFER = 2 * MB
+LARGE_BUFFER = 20 * MB
+MIN_LARGE_ALLOC = 10 * MB
+ROUND_LARGE = 2 * MB
+
+
+@dataclass
+class Segment:
+    """One ``cudaMalloc``-ed region that blocks are carved from."""
+
+    ptr: int
+    size: int
+    pool: str  # "small" | "large"
+    n_blocks: int = 0
+
+
+@dataclass
+class Block:
+    """A contiguous range inside a segment.
+
+    Doubly linked to its address-adjacent neighbours within the same
+    segment (the paper's "bidirectional link") so coalescing is O(1).
+    """
+
+    ptr: int
+    size: int
+    segment: Segment
+    allocated: bool = False
+    prev: Optional["Block"] = field(default=None, repr=False)
+    next: Optional["Block"] = field(default=None, repr=False)
+
+    def is_whole_segment(self) -> bool:
+        """True when this free block spans its entire segment."""
+        return self.prev is None and self.next is None and self.size == self.segment.size
+
+
+def round_size(size: int) -> int:
+    """Round a request to the allocator's 512 B granularity."""
+    if size < MIN_BLOCK_SIZE:
+        return MIN_BLOCK_SIZE
+    return align_up(size, MIN_BLOCK_SIZE)
+
+
+def segment_size_for(rounded: int) -> int:
+    """Size of the segment ``cudaMalloc``-ed to serve a rounded request."""
+    if rounded <= SMALL_SIZE:
+        return SMALL_BUFFER
+    if rounded < MIN_LARGE_ALLOC:
+        return LARGE_BUFFER
+    return align_up(rounded, ROUND_LARGE)
+
+
+def pool_for(rounded: int) -> str:
+    """Which free pool a rounded request is served from."""
+    return "small" if rounded <= SMALL_SIZE else "large"
+
+
+def should_split(block_size: int, rounded: int, pool: str) -> bool:
+    """PyTorch's split policy: keep the remainder only if it is usable."""
+    remaining = block_size - rounded
+    if pool == "small":
+        return remaining >= MIN_BLOCK_SIZE
+    return remaining > SMALL_SIZE
+
+
+class CachingAllocator(BaseAllocator):
+    """PyTorch-style BFC caching allocator (the paper's baseline)."""
+
+    def __init__(self, device: GpuDevice):
+        super().__init__(device, name="caching")
+        self._free_pools: Dict[str, SortedKeyList[Block]] = {
+            "small": SortedKeyList(key=lambda b: (b.size, b.ptr)),
+            "large": SortedKeyList(key=lambda b: (b.size, b.ptr)),
+        }
+        self._blocks_by_ptr: Dict[int, Block] = {}
+        self._segments: Dict[int, Segment] = {}
+        self._reserved = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def reserved_bytes(self) -> int:
+        return self._reserved
+
+    @property
+    def segment_count(self) -> int:
+        """Number of live ``cudaMalloc``-ed segments."""
+        return len(self._segments)
+
+    def free_block_count(self, pool: Optional[str] = None) -> int:
+        """Number of free blocks cached (optionally in one pool)."""
+        if pool is not None:
+            return len(self._free_pools[pool])
+        return sum(len(p) for p in self._free_pools.values())
+
+    def cached_bytes(self) -> int:
+        """Total bytes of free (inactive) blocks held in the pools."""
+        return sum(b.size for p in self._free_pools.values() for b in p)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _malloc_impl(self, size: int) -> "tuple[int, int]":
+        rounded = round_size(size)
+        pool = pool_for(rounded)
+        self._spend_host_time(self.device.latency.cached_op_us)
+
+        block = self._find_best_fit(pool, rounded)
+        if block is None:
+            block = self._alloc_new_segment(rounded, pool)
+        if should_split(block.size, rounded, pool):
+            block = self._split(block, rounded)
+        block.allocated = True
+        return block.ptr, rounded
+
+    def _find_best_fit(self, pool: str, rounded: int) -> Optional[Block]:
+        """Step 1 of the BFC algorithm: smallest free block >= request."""
+        best = self._free_pools[pool].first_at_least((rounded, 0))
+        if best is None:
+            return None
+        self._free_pools[pool].remove(best)
+        return best
+
+    def _alloc_new_segment(self, rounded: int, pool: str) -> Block:
+        """No cached candidate: ``cudaMalloc`` a fresh segment."""
+        seg_size = segment_size_for(rounded)
+        try:
+            ptr = self.device.runtime.cuda_malloc(seg_size)
+        except CudaOutOfMemoryError:
+            released = self._release_cached_segments()
+            if released == 0:
+                self._raise_oom(rounded)
+            try:
+                ptr = self.device.runtime.cuda_malloc(seg_size)
+            except CudaOutOfMemoryError:
+                self._raise_oom(rounded)
+        segment = Segment(ptr=ptr, size=seg_size, pool=pool, n_blocks=1)
+        self._segments[ptr] = segment
+        self._reserved += seg_size
+        block = Block(ptr=ptr, size=seg_size, segment=segment)
+        self._blocks_by_ptr[ptr] = block
+        return block
+
+    def _raise_oom(self, rounded: int) -> None:
+        raise OutOfMemoryError(
+            requested=rounded,
+            reserved=self._reserved,
+            active=self.active_bytes,
+            capacity=self.device.capacity,
+        )
+
+    def _split(self, block: Block, rounded: int) -> Block:
+        """Step 2: split the best-fit block; remainder stays cached."""
+        remainder = Block(
+            ptr=block.ptr + rounded,
+            size=block.size - rounded,
+            segment=block.segment,
+            prev=block,
+            next=block.next,
+        )
+        if block.next is not None:
+            block.next.prev = remainder
+        block.next = remainder
+        block.size = rounded
+        block.segment.n_blocks += 1
+        self._blocks_by_ptr[remainder.ptr] = remainder
+        self._free_pools[block.segment.pool].add(remainder)
+        return block
+
+    # ------------------------------------------------------------------
+    # Deallocation
+    # ------------------------------------------------------------------
+    def _free_impl(self, allocation: Allocation) -> None:
+        """Steps 3-4: mark inactive, coalesce with free neighbours."""
+        self._spend_host_time(self.device.latency.cached_op_us)
+        block = self._blocks_by_ptr.get(allocation.ptr)
+        if block is None or not block.allocated:
+            raise AssertionError(
+                f"internal error: freeing unknown block at {allocation.ptr:#x}"
+            )
+        block.allocated = False
+        block = self._coalesce(block)
+        self._free_pools[block.segment.pool].add(block)
+
+    def _coalesce(self, block: Block) -> Block:
+        """Merge ``block`` with free address-adjacent neighbours."""
+        pool = self._free_pools[block.segment.pool]
+        nxt = block.next
+        if nxt is not None and not nxt.allocated:
+            pool.remove(nxt)
+            del self._blocks_by_ptr[nxt.ptr]
+            block.size += nxt.size
+            block.next = nxt.next
+            if nxt.next is not None:
+                nxt.next.prev = block
+            block.segment.n_blocks -= 1
+        prv = block.prev
+        if prv is not None and not prv.allocated:
+            pool.remove(prv)
+            del self._blocks_by_ptr[block.ptr]
+            prv.size += block.size
+            prv.next = block.next
+            if block.next is not None:
+                block.next.prev = prv
+            prv.segment.n_blocks -= 1
+            block = prv
+        return block
+
+    # ------------------------------------------------------------------
+    # Cache release
+    # ------------------------------------------------------------------
+    def empty_cache(self) -> None:
+        """Release every wholly-free segment back to the device."""
+        self._release_cached_segments()
+
+    def _release_cached_segments(self) -> int:
+        """``cudaFree`` each segment whose single block is free.
+
+        Returns the number of bytes released.
+        """
+        released = 0
+        for pool in self._free_pools.values():
+            for block in pool.as_list():
+                if block.is_whole_segment():
+                    pool.remove(block)
+                    del self._blocks_by_ptr[block.ptr]
+                    del self._segments[block.segment.ptr]
+                    self.device.runtime.cuda_free(block.segment.ptr)
+                    self._reserved -= block.segment.size
+                    released += block.segment.size
+        return released
+
+    # ------------------------------------------------------------------
+    # Invariant checks (for property tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if internal bookkeeping is inconsistent."""
+        # Every segment's blocks tile it exactly.
+        seg_bytes: Dict[int, int] = {ptr: 0 for ptr in self._segments}
+        for block in self._blocks_by_ptr.values():
+            seg_bytes[block.segment.ptr] += block.size
+        for ptr, seg in self._segments.items():
+            assert seg_bytes[ptr] == seg.size, (
+                f"segment {ptr:#x}: blocks cover {seg_bytes[ptr]} of {seg.size} bytes"
+            )
+        # Free pools contain exactly the non-allocated blocks.
+        free_ptrs = {b.ptr for p in self._free_pools.values() for b in p}
+        expected = {b.ptr for b in self._blocks_by_ptr.values() if not b.allocated}
+        assert free_ptrs == expected, "free pools out of sync with block table"
+        # No two adjacent free blocks (coalescing happened).
+        for block in self._blocks_by_ptr.values():
+            if not block.allocated and block.next is not None:
+                assert block.next.allocated, "adjacent free blocks not coalesced"
+        # Reserved equals the sum of segment sizes.
+        assert self._reserved == sum(s.size for s in self._segments.values())
+        for pool in self._free_pools.values():
+            assert pool.check_sorted()

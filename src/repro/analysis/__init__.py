@@ -1,0 +1,37 @@
+"""Reporting layer: experiment runners and table rendering.
+
+- :mod:`repro.analysis.tables` — plain-text table formatting used by
+  every bench.
+- :mod:`repro.analysis.experiments` — the paper's experiment grids
+  (strategy combos, GPU scale-out, platform sweep, batch sweep) as
+  reusable functions returning comparison rows.
+- :mod:`repro.analysis.summary` — the §5 "76 workloads / 8 models"
+  aggregate statistics.
+"""
+
+from repro.analysis.experiments import (
+    batch_sweep,
+    platform_sweep,
+    scaleout_sweep,
+    strategy_sweep,
+)
+from repro.analysis.memory_report import (
+    MemoryReport,
+    fragmentation_headroom,
+    report_for,
+)
+from repro.analysis.summary import SummaryStats, summarize
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "strategy_sweep",
+    "scaleout_sweep",
+    "platform_sweep",
+    "batch_sweep",
+    "SummaryStats",
+    "summarize",
+    "format_table",
+    "MemoryReport",
+    "report_for",
+    "fragmentation_headroom",
+]

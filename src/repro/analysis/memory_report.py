@@ -1,0 +1,152 @@
+"""Allocator memory reports: where did the reserved bytes go?
+
+Produces the kind of breakdown ``torch.cuda.memory_summary()`` gives —
+free-block histograms, the largest servable block, and (for GMLake) the
+stitchable mass — so a user can see *why* an allocator fragments, not
+just that it does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.allocators.base import BaseAllocator
+from repro.allocators.caching import CachingAllocator
+from repro.allocators.expandable import ExpandableSegmentsAllocator
+from repro.core.allocator import GMLakeAllocator
+from repro.units import MB, fmt_bytes
+
+
+@dataclass
+class MemoryReport:
+    """Point-in-time breakdown of one allocator's memory."""
+
+    allocator: str
+    reserved_bytes: int
+    active_bytes: int
+    free_bytes: int
+    free_block_count: int
+    largest_free_block: int
+    #: log2 histogram: bucket upper bound (bytes) -> count of free blocks
+    free_histogram: Dict[int, int] = field(default_factory=dict)
+    #: bytes reusable for a single maximal request (GMLake: stitched sum;
+    #: others: the largest free block)
+    max_servable: int = 0
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"memory report — {self.allocator}",
+            f"  reserved        : {fmt_bytes(self.reserved_bytes)}",
+            f"  active          : {fmt_bytes(self.active_bytes)}",
+            f"  free (cached)   : {fmt_bytes(self.free_bytes)} "
+            f"in {self.free_block_count} blocks",
+            f"  largest free    : {fmt_bytes(self.largest_free_block)}",
+            f"  max servable    : {fmt_bytes(self.max_servable)}",
+        ]
+        if self.free_histogram:
+            lines.append("  free-block histogram:")
+            for bound in sorted(self.free_histogram):
+                count = self.free_histogram[bound]
+                bar = "#" * min(count, 40)
+                lines.append(f"    <= {fmt_bytes(bound):>10} : {count:4d} {bar}")
+        return "\n".join(lines)
+
+
+def _histogram(sizes: List[int]) -> Dict[int, int]:
+    hist: Dict[int, int] = {}
+    for size in sizes:
+        bound = 1 << max(0, math.ceil(math.log2(size))) if size > 0 else 1
+        hist[bound] = hist.get(bound, 0) + 1
+    return hist
+
+
+def report_for(allocator: BaseAllocator) -> MemoryReport:
+    """Build a :class:`MemoryReport` for any supported allocator."""
+    if isinstance(allocator, GMLakeAllocator):
+        return _report_gmlake(allocator)
+    if isinstance(allocator, CachingAllocator):
+        return _report_caching(allocator)
+    if isinstance(allocator, ExpandableSegmentsAllocator):
+        return _report_expandable(allocator)
+    return _report_generic(allocator)
+
+
+def _report_generic(allocator: BaseAllocator) -> MemoryReport:
+    free = allocator.reserved_bytes - allocator.active_bytes
+    return MemoryReport(
+        allocator=allocator.name,
+        reserved_bytes=allocator.reserved_bytes,
+        active_bytes=allocator.active_bytes,
+        free_bytes=free,
+        free_block_count=0,
+        largest_free_block=free,
+        max_servable=free,
+    )
+
+
+def _report_caching(allocator: CachingAllocator) -> MemoryReport:
+    sizes = [block.size for pool in allocator._free_pools.values()
+             for block in pool]
+    largest = max(sizes) if sizes else 0
+    return MemoryReport(
+        allocator=allocator.name,
+        reserved_bytes=allocator.reserved_bytes,
+        active_bytes=allocator.active_bytes,
+        free_bytes=sum(sizes),
+        free_block_count=len(sizes),
+        largest_free_block=largest,
+        free_histogram=_histogram(sizes),
+        # BFC can serve at most its largest free block without a new
+        # cudaMalloc: holes cannot be combined.
+        max_servable=largest,
+    )
+
+
+def _report_expandable(allocator: ExpandableSegmentsAllocator) -> MemoryReport:
+    sizes = [block.size for arena in allocator._arenas.values()
+             for block in arena.free_blocks]
+    largest = max(sizes) if sizes else 0
+    return MemoryReport(
+        allocator=allocator.name,
+        reserved_bytes=allocator.reserved_bytes,
+        active_bytes=allocator.active_bytes,
+        free_bytes=sum(sizes),
+        free_block_count=len(sizes),
+        largest_free_block=largest,
+        free_histogram=_histogram(sizes),
+        # Like BFC, expandable segments cannot fuse disjoint holes —
+        # but it can always grow at the tail, so the largest hole is
+        # the most it serves without *new* physical memory.
+        max_servable=largest,
+    )
+
+
+def _report_gmlake(allocator: GMLakeAllocator) -> MemoryReport:
+    sizes = [block.size for block in allocator.ppool if not block.active]
+    largest = max(sizes) if sizes else 0
+    stitchable = sum(
+        size for size in sizes
+        if size >= allocator.config.fragmentation_limit
+    )
+    return MemoryReport(
+        allocator=allocator.name,
+        reserved_bytes=allocator.reserved_bytes,
+        active_bytes=allocator.active_bytes,
+        free_bytes=sum(sizes),
+        free_block_count=len(sizes),
+        largest_free_block=largest,
+        free_histogram=_histogram(sizes),
+        # Stitching fuses every inactive block above the limit into one
+        # servable region — the defragmentation headroom.
+        max_servable=max(stitchable, largest),
+    )
+
+
+def fragmentation_headroom(allocator: BaseAllocator) -> int:
+    """Bytes a single request could use beyond the largest hole —
+    GMLake's stitching advantage (zero for non-stitching allocators)."""
+    report = report_for(allocator)
+    return max(0, report.max_servable - report.largest_free_block)

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+compare      Run one workload under several allocators side by side.
+sweep        Sweep one axis (strategies / gpus / batch) of a workload.
+trace        Generate a workload's allocation trace to a JSONL file.
+replay       Replay a JSONL trace against an allocator.
+microbench   Print the Figure 6 / Table 1 VMM latency tables.
+models       List the model registry.
+
+Examples
+--------
+python -m repro compare --model opt-13b --batch 4 --gpus 4 --strategies LR
+python -m repro sweep --axis gpus --model opt-13b --values 1,2,4,8,16
+python -m repro trace --model gpt-2 --batch 8 --out /tmp/gpt2.jsonl
+python -m repro replay --in /tmp/gpt2.jsonl --allocator gmlake
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.analysis.experiments import (
+    batch_sweep,
+    scaleout_sweep,
+    strategy_sweep,
+)
+from repro.gpu.device import GpuDevice
+from repro.sim.engine import ALLOCATOR_FACTORIES, make_allocator, run_trace, run_workload
+from repro.units import GB, MB, parse_size
+from repro.workloads import MODELS, TrainingWorkload
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="opt-13b",
+                        help="model registry name (see `models`)")
+    parser.add_argument("--batch", type=int, default=4,
+                        help="per-GPU micro-batch size")
+    parser.add_argument("--gpus", type=int, default=4,
+                        help="data-parallel world size")
+    parser.add_argument("--strategies", default="LR",
+                        help="strategy label: N, R, LR, RO, LRO, ...")
+    parser.add_argument("--platform", default="deepspeed",
+                        help="deepspeed | fsdp | colossalai")
+    parser.add_argument("--iterations", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _workload_from(args: argparse.Namespace) -> TrainingWorkload:
+    return TrainingWorkload(
+        args.model, batch_size=args.batch, n_gpus=args.gpus,
+        strategies=args.strategies, platform=args.platform,
+        iterations=args.iterations, seed=args.seed,
+    )
+
+
+def _result_row(name: str, result) -> dict:
+    return {
+        "allocator": name,
+        "reserved (GB)": round(result.peak_reserved_gb, 2),
+        "active (GB)": round(result.peak_active_gb, 2),
+        "utilization": round(result.utilization_ratio, 3),
+        "samples/s": round(result.throughput_samples_per_s, 2),
+        "OOM": result.oom,
+    }
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = _workload_from(args)
+    names = [n.strip() for n in args.allocators.split(",") if n.strip()]
+    rows = []
+    for name in names:
+        result = run_workload(workload, name, capacity=args.capacity)
+        rows.append(_result_row(name, result))
+    print(format_table(rows, title=f"workload: {workload.label}"))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    values = None
+    if args.values and args.axis != "strategies":
+        values = [int(v) for v in args.values.split(",")]
+    if args.axis == "strategies":
+        combos = args.values.split(",") if args.values else (
+            "N", "R", "LR", "RO", "LRO")
+        rows = strategy_sweep(args.model, batch_size=args.batch,
+                              combos=combos, n_gpus=args.gpus,
+                              iterations=args.iterations)
+        key = "strategies"
+    elif args.axis == "gpus":
+        rows = scaleout_sweep(args.model, batch_size=args.batch,
+                              gpu_counts=values or (1, 2, 4, 8, 16),
+                              strategies=args.strategies,
+                              iterations=args.iterations)
+        key = "n_gpus"
+    elif args.axis == "batch":
+        rows = batch_sweep(args.model, batch_sizes=values or (4, 8, 16, 32),
+                           n_gpus=args.gpus, strategies=args.strategies,
+                           iterations=args.iterations)
+        key = "batch_size"
+    else:
+        print(f"unknown sweep axis {args.axis!r}", file=sys.stderr)
+        return 2
+    table = []
+    for row in rows:
+        table.append({
+            args.axis: row.baseline.meta[key],
+            "UR caching": round(row.baseline.utilization_ratio, 3),
+            "UR gmlake": round(row.gmlake.utilization_ratio, 3),
+            "RM caching (GB)": round(row.baseline.peak_reserved_gb, 2),
+            "RM gmlake (GB)": round(row.gmlake.peak_reserved_gb, 2),
+            "caching OOM": row.baseline.oom,
+            "gmlake OOM": row.gmlake.oom,
+        })
+    print(format_table(table, title=f"sweep {args.axis}: {args.model}"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    workload = _workload_from(args)
+    trace = workload.build_trace()
+    trace.validate()
+    save_trace(trace, args.out)
+    stats = trace.stats()
+    print(f"wrote {len(trace)} events to {args.out} ({stats})")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.infile)
+    device = GpuDevice(capacity=args.capacity)
+    allocator = make_allocator(args.allocator, device)
+    result = run_trace(allocator, trace)
+    print(result.summary())
+    return 0
+
+
+def cmd_microbench(args: argparse.Namespace) -> int:
+    del args
+    latency = GpuDevice().latency
+    rows = []
+    for i in range(10):
+        chunk = 2 * MB * (1 << i)
+        row = {"chunk": f"{chunk // MB}MB"}
+        for block in (512 * MB, 1 * GB, 2 * GB):
+            row[f"{block // MB}MB"] = f"{latency.vmm_alloc_total(block, chunk) / 1e3:.2f}ms"
+        rows.append(row)
+    print(format_table(rows, title="Figure 6 — VMM allocation latency"))
+    breakdown = []
+    for chunk in (2 * MB, 128 * MB, 1024 * MB):
+        row = {"chunk": f"{chunk // MB}MB"}
+        row.update({k: round(v, 3)
+                    for k, v in latency.vmm_breakdown(2 * GB, chunk).items()})
+        breakdown.append(row)
+    print()
+    print(format_table(breakdown, title="Table 1 — 2 GB VMM breakdown"))
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    del args
+    rows = [
+        {
+            "name": spec.name,
+            "layers": spec.n_layers,
+            "hidden": spec.hidden,
+            "params (B)": round(spec.n_params / 1e9, 1),
+            "weights (GB)": round(spec.weight_bytes / GB, 1),
+        }
+        for spec in MODELS.values()
+    ]
+    print(format_table(rows, title="model registry"))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GMLake reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="run one workload under allocators")
+    _add_workload_args(p)
+    p.add_argument("--allocators", default="caching,gmlake",
+                   help=f"comma list of {sorted(ALLOCATOR_FACTORIES)}")
+    p.add_argument("--capacity", type=parse_size, default=80 * GB,
+                   help="device memory, e.g. 80GB")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="sweep one workload axis")
+    _add_workload_args(p)
+    p.add_argument("--axis", choices=("strategies", "gpus", "batch"),
+                   required=True)
+    p.add_argument("--values", default="",
+                   help="comma list of axis values (defaults per axis)")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("trace", help="write a workload trace to JSONL")
+    _add_workload_args(p)
+    p.add_argument("--out", required=True, help="output .jsonl path")
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("replay", help="replay a JSONL trace")
+    p.add_argument("--in", dest="infile", required=True)
+    p.add_argument("--allocator", default="gmlake",
+                   choices=sorted(ALLOCATOR_FACTORIES))
+    p.add_argument("--capacity", type=parse_size, default=80 * GB)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("microbench", help="VMM latency tables")
+    p.set_defaults(func=cmd_microbench)
+
+    p = sub.add_parser("models", help="list the model registry")
+    p.set_defaults(func=cmd_models)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

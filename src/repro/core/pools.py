@@ -1,0 +1,164 @@
+"""The primitive and stitched memory pools (§3.2, Figure 8).
+
+Both pools are ordered sets sorted by block size — the paper sorts
+descending; we store ascending and iterate in reverse where the
+algorithm wants largest-first.  The pools hold *all* blocks (active and
+inactive); BestFit filters to inactive ones, mirroring the paper's
+"Inactive sBlocks and pBlocks" input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.pblock import PBlock
+from repro.core.sblock import SBlock
+from repro.sortedlist import SortedKeyList
+
+
+class PPool:
+    """The primitive memory pool: every live pBlock, sorted by size.
+
+    "The pPool represents a strict one-to-one mapping of GPU memory,
+    with each pBlock being distinct from others" (§4.2.1) — enforced by
+    :meth:`check_invariants`.
+    """
+
+    def __init__(self):
+        self._blocks: SortedKeyList[PBlock] = SortedKeyList(
+            key=lambda b: (b.size, b.id)
+        )
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[PBlock]:
+        return iter(self._blocks)
+
+    def add(self, block: PBlock) -> None:
+        """Insert a pBlock (after Alloc or Split)."""
+        self._blocks.add(block)
+
+    def remove(self, block: PBlock) -> None:
+        """Remove a pBlock (before Split rebuilds it, or on release)."""
+        self._blocks.remove(block)
+
+    def inactive_descending(self) -> List[PBlock]:
+        """Inactive pBlocks, largest first — BestFit's scan order.
+
+        Equal-size blocks are ordered unreferenced-first so stitching
+        and splitting consume blocks that no existing sBlock depends on
+        before cannibalizing converged stitch compositions.
+        """
+        blocks = [b for b in self._blocks.items_descending() if not b.active]
+        blocks.sort(key=lambda b: (-b.size, b.sblock_refs, b.id))
+        return blocks
+
+    def exact_inactive(self, size: int) -> Optional[PBlock]:
+        """An inactive pBlock of exactly ``size`` bytes, if any.
+
+        Among equal-size candidates, pBlocks that no sBlock references
+        are preferred: taking an sBlock member would mark the sBlock
+        active and force the next request for its stitched size back
+        into S2/S3 churn instead of the converged exact-match path.
+        """
+        idx = self._blocks.index_at_least((size, 0))
+        fallback: Optional[PBlock] = None
+        while idx < len(self._blocks) and self._blocks[idx].size == size:
+            block = self._blocks[idx]
+            if not block.active:
+                if block.sblock_refs == 0:
+                    return block
+                if fallback is None:
+                    fallback = block
+            idx += 1
+        return fallback
+
+    @property
+    def total_bytes(self) -> int:
+        """Physical bytes owned by all pBlocks."""
+        return sum(b.size for b in self._blocks)
+
+    @property
+    def inactive_bytes(self) -> int:
+        """Physical bytes in inactive pBlocks (reusable without Alloc)."""
+        return sum(b.size for b in self._blocks if not b.active)
+
+    def check_invariants(self) -> None:
+        """pPool holds no duplicates and stays sorted."""
+        ids = [b.id for b in self._blocks]
+        assert len(ids) == len(set(ids)), "duplicate pBlock in pPool"
+        assert self._blocks.check_sorted(), "pPool not sorted"
+
+
+class SPool:
+    """The stitched memory pool: every live sBlock, sorted by size.
+
+    "The sPool is considered a subset of the pPool" (§4.2.1): every
+    member of every sBlock must be present in the pPool.
+    """
+
+    def __init__(self):
+        self._blocks: SortedKeyList[SBlock] = SortedKeyList(
+            key=lambda b: (b.size, b.id)
+        )
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[SBlock]:
+        return iter(self._blocks)
+
+    def add(self, block: SBlock) -> None:
+        """Insert an sBlock (only Stitch creates these)."""
+        self._blocks.add(block)
+
+    def remove(self, block: SBlock) -> None:
+        """Remove an sBlock (StitchFree)."""
+        self._blocks.remove(block)
+
+    def exact_inactive(self, size: int) -> Optional[SBlock]:
+        """An inactive sBlock of exactly ``size`` bytes, if any.
+
+        This is the only way an sBlock is ever handed to a tensor (S1:
+        "This is the sole situation where an sBlock can be assigned").
+        """
+        idx = self._blocks.index_at_least((size, 0))
+        while idx < len(self._blocks) and self._blocks[idx].size == size:
+            block = self._blocks[idx]
+            if not block.active:
+                return block
+            idx += 1
+        return None
+
+    def inactive_blocks(self) -> List[SBlock]:
+        """All inactive sBlocks (StitchFree candidates)."""
+        return [b for b in self._blocks if not b.active]
+
+    def referencing(self, pblock: PBlock) -> List[SBlock]:
+        """Every sBlock that stitches over ``pblock``."""
+        return [s for s in self._blocks if s.contains(pblock)]
+
+    def lru_inactive(self) -> Optional[SBlock]:
+        """Least-recently-used inactive sBlock (StitchFree victim)."""
+        candidates = self.inactive_blocks()
+        if not candidates:
+            return None
+        return min(candidates, key=lambda s: s.last_used)
+
+    @property
+    def total_va_bytes(self) -> int:
+        """Virtual address bytes consumed by all sBlocks."""
+        return sum(b.size for b in self._blocks)
+
+    def check_invariants(self, ppool: PPool) -> None:
+        """Every sBlock member is a live pPool block; sPool is sorted."""
+        live = {id(b) for b in ppool}
+        for sblock in self._blocks:
+            assert len(sblock.members) >= 2, f"sBlock {sblock.id} has <2 members"
+            for member in sblock.members:
+                assert id(member) in live, (
+                    f"sBlock {sblock.id} references pBlock {member.id} "
+                    "that is not in the pPool"
+                )
+        assert self._blocks.check_sorted(), "sPool not sorted"

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the GMLake reproduction.
+
+The simulated CUDA driver raises :class:`CudaError` subclasses that mirror
+the driver-API error codes an allocator would see on real hardware; the
+allocator layer raises :class:`AllocatorError` subclasses for contract
+violations of its own (double free, freeing a foreign pointer, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class CudaError(ReproError):
+    """Base class for simulated CUDA driver/runtime errors."""
+
+
+class CudaOutOfMemoryError(CudaError):
+    """Raised when a physical allocation exceeds remaining device memory.
+
+    Mirrors ``CUDA_ERROR_OUT_OF_MEMORY`` / ``cudaErrorMemoryAllocation``.
+    """
+
+    def __init__(self, requested: int, free: int, total: int):
+        self.requested = requested
+        self.free = free
+        self.total = total
+        super().__init__(
+            f"CUDA out of memory: tried to allocate {requested} bytes "
+            f"({free} bytes free of {total} total)"
+        )
+
+
+class CudaInvalidValueError(CudaError):
+    """Mirrors ``CUDA_ERROR_INVALID_VALUE`` — bad size/alignment/handle use."""
+
+
+class CudaInvalidAddressError(CudaError):
+    """An operation referenced a virtual address that is not reserved/mapped."""
+
+
+class AllocatorError(ReproError):
+    """Base class for allocator-level contract violations."""
+
+
+class OutOfMemoryError(AllocatorError):
+    """Allocator-level OOM: the request cannot be satisfied even after
+    releasing every cached/inactive block.
+
+    This is the error a training job observes (PyTorch's
+    ``torch.cuda.OutOfMemoryError`` equivalent); experiments catch it to
+    record the OOM point in batch-size sweeps (Fig. 13, Fig. 14).
+    """
+
+    def __init__(self, requested: int, reserved: int, active: int, capacity: int):
+        self.requested = requested
+        self.reserved = reserved
+        self.active = active
+        self.capacity = capacity
+        super().__init__(
+            f"allocator out of memory: requested {requested} bytes "
+            f"(reserved {reserved}, active {active}, capacity {capacity})"
+        )
+
+
+class DoubleFreeError(AllocatorError):
+    """The same allocation was freed twice."""
+
+
+class UnknownAllocationError(AllocatorError):
+    """``free`` was called with an allocation this allocator never issued."""

@@ -1,0 +1,37 @@
+"""Simulated GPU substrate.
+
+This subpackage stands in for the NVIDIA driver stack the paper's C++
+implementation talks to:
+
+- :class:`~repro.gpu.clock.SimClock` — the simulated wall clock.
+- :class:`~repro.gpu.latency.LatencyModel` — per-API-call costs calibrated
+  to the paper's Table 1 / Figure 6 measurements.
+- :class:`~repro.gpu.phys.PhysicalMemory` — byte-accurate device memory
+  commit tracking with chunk handles.
+- :class:`~repro.gpu.vaspace.VirtualAddressSpace` — VA reservations.
+- :class:`~repro.gpu.vmm.CudaVmm` — the low-level virtual memory
+  management driver API (``cuMemAddressReserve`` & friends).
+- :class:`~repro.gpu.runtime.CudaRuntime` — ``cudaMalloc``/``cudaFree``.
+- :class:`~repro.gpu.device.GpuDevice` — one simulated A100, bundling all
+  of the above.
+"""
+
+from repro.gpu.clock import SimClock
+from repro.gpu.device import GpuDevice
+from repro.gpu.latency import LatencyModel
+from repro.gpu.phys import PhysicalMemory, PhysicalChunk
+from repro.gpu.runtime import CudaRuntime
+from repro.gpu.vaspace import VirtualAddressSpace
+from repro.gpu.vmm import CudaVmm, VmmCounters
+
+__all__ = [
+    "SimClock",
+    "GpuDevice",
+    "LatencyModel",
+    "PhysicalMemory",
+    "PhysicalChunk",
+    "CudaRuntime",
+    "VirtualAddressSpace",
+    "CudaVmm",
+    "VmmCounters",
+]

@@ -1,0 +1,197 @@
+"""Latency model for simulated CUDA driver/runtime API calls.
+
+The paper motivates GMLake with two measurements:
+
+* **Figure 6** — allocating a block through the VMM API is up to 115x
+  slower than ``cudaMalloc`` when the block is assembled from 2 MB
+  physical chunks, and the gap closes as chunks grow.
+* **Table 1** — the per-API breakdown of a 2 GB VMM allocation,
+  normalized to ``cuMemAlloc`` time: with 2 MB chunks the totals are
+  reserve 0.003, create 18.1, map 0.70, setAccess 96.8 (115.4x total);
+  with 128 MB chunks 9.1x; with 1024 MB chunks 1.5x.
+
+This module reproduces those shapes.  Per-call costs for ``cuMemCreate``,
+``cuMemMap`` and ``cuMemSetAccess`` are calibrated *exactly* at the three
+chunk sizes Table 1 measures and log-log interpolated in between, so the
+Table 1 bench regenerates the paper's numbers by construction and the
+Figure 6 bench regenerates the curve shape.
+
+Absolute time uses one free scale factor: the measured ``cudaMalloc`` of
+a 2 GB block, defaulting to 850 us (a realistic A100 figure).  All other
+costs are expressed in units of that call and converted to microseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.units import GB, MB
+
+#: Table 1 calibration points: chunk size -> per-call cost of
+#: (cuMemCreate, cuMemMap, cuMemSetAccess), in units of cuMemAlloc(2 GB).
+#: Derived from the paper's totals for a 2 GB allocation:
+#:   2 MB   chunks (1024 calls): create 18.1  -> 0.017676/call
+#:                                map    0.70  -> 0.000684/call
+#:                                setAccess 96.8 -> 0.094531/call
+#:   128 MB chunks (16 calls):   create 0.89  -> 0.055625/call
+#:                                map    0.01  -> 0.000625/call
+#:                                setAccess 8.2  -> 0.512500/call
+#:   1 GB   chunks (2 calls):    create 0.79  -> 0.395000/call
+#:                                map    0.002 -> 0.001000/call
+#:                                setAccess 0.7  -> 0.350000/call
+_CALIBRATION: Dict[int, Tuple[float, float, float]] = {
+    2 * MB: (18.1 / 1024, 0.70 / 1024, 96.8 / 1024),
+    128 * MB: (0.89 / 16, 0.01 / 16, 8.2 / 16),
+    1024 * MB: (0.79 / 2, 0.002 / 2, 0.7 / 2),
+}
+
+#: cuMemAddressReserve cost in cuMemAlloc(2 GB) units (Table 1: ~0.003,
+#: essentially independent of chunk size -- it is a single call).
+_RESERVE_UNITS = 0.003
+
+
+def _loglog_interp(x: float, points: Dict[float, float]) -> float:
+    """Piecewise log-log interpolation through ``points`` (x -> y).
+
+    Outside the calibrated range the nearest segment's slope is
+    extrapolated, which keeps the curve monotone in the regimes the
+    benches sweep (2 MB .. 1 GB chunks).
+    """
+    xs = sorted(points)
+    if x <= xs[0]:
+        lo, hi = xs[0], xs[1]
+    elif x >= xs[-1]:
+        lo, hi = xs[-2], xs[-1]
+    else:
+        lo = max(p for p in xs if p <= x)
+        hi = min(p for p in xs if p >= x)
+        if lo == hi:
+            return points[lo]
+    y_lo, y_hi = points[lo], points[hi]
+    slope = (math.log(y_hi) - math.log(y_lo)) / (math.log(hi) - math.log(lo))
+    return math.exp(math.log(y_lo) + slope * (math.log(x) - math.log(lo)))
+
+
+@dataclass
+class LatencyModel:
+    """Cost (microseconds) of each simulated driver/runtime API call.
+
+    Parameters
+    ----------
+    cu_malloc_2gb_us:
+        Measured latency of ``cudaMalloc`` for a 2 GB block; the unit all
+        VMM costs are normalized to.  Changing it rescales every latency
+        proportionally without affecting any *relative* result.
+    cuda_malloc_fixed_us / cuda_malloc_per_gb_us:
+        Affine model of ``cudaMalloc``; the fixed part models the implicit
+        device synchronization that makes the native allocator so slow for
+        DNN training (the paper's 9.7x end-to-end gap).
+    cuda_free_fixed_us / cuda_free_per_gb_us:
+        Affine model of ``cudaFree`` (also synchronizing).
+    cached_op_us:
+        Cost of a pool-level (de)allocation that hits the cache and
+        touches no driver API -- a handful of host-side bookkeeping ops.
+    sync_stall_us:
+        Pipeline stall caused by the implicit device synchronization of
+        ``cudaMalloc``/``cudaFree`` on a *busy* device: the async kernel
+        queue must drain before the call returns.  Paid by the native
+        allocator on every operation; the caching allocator only pays it
+        on segment growth.
+    """
+
+    cu_malloc_2gb_us: float = 850.0
+    cuda_malloc_fixed_us: float = 150.0
+    cuda_malloc_per_gb_us: float = 350.0
+    cuda_free_fixed_us: float = 120.0
+    cuda_free_per_gb_us: float = 30.0
+    cached_op_us: float = 1.5
+    sync_stall_us: float = 250.0
+    _create_points: Dict[float, float] = field(init=False, repr=False)
+    _map_points: Dict[float, float] = field(init=False, repr=False)
+    _access_points: Dict[float, float] = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._create_points = {s: c[0] for s, c in _CALIBRATION.items()}
+        self._map_points = {s: c[1] for s, c in _CALIBRATION.items()}
+        self._access_points = {s: c[2] for s, c in _CALIBRATION.items()}
+
+    # ------------------------------------------------------------------
+    # Runtime API (native allocator path)
+    # ------------------------------------------------------------------
+    def cuda_malloc(self, size: int) -> float:
+        """Latency of ``cudaMalloc(size)`` in microseconds."""
+        return self.cuda_malloc_fixed_us + self.cuda_malloc_per_gb_us * size / GB
+
+    def cuda_free(self, size: int) -> float:
+        """Latency of ``cudaFree`` of a ``size``-byte allocation."""
+        return self.cuda_free_fixed_us + self.cuda_free_per_gb_us * size / GB
+
+    # ------------------------------------------------------------------
+    # VMM driver API (GMLake path), per call
+    # ------------------------------------------------------------------
+    def _unit_us(self) -> float:
+        return self.cu_malloc_2gb_us
+
+    def mem_address_reserve(self, size: int) -> float:
+        """Latency of ``cuMemAddressReserve`` — a single cheap call."""
+        del size  # measured cost is size-independent (Table 1)
+        return _RESERVE_UNITS * self._unit_us()
+
+    def mem_address_free(self, size: int) -> float:
+        """Latency of ``cuMemAddressFree`` (symmetric to reserve)."""
+        del size
+        return _RESERVE_UNITS * self._unit_us()
+
+    def mem_create(self, chunk_size: int) -> float:
+        """Latency of one ``cuMemCreate`` of a ``chunk_size`` chunk."""
+        return _loglog_interp(chunk_size, self._create_points) * self._unit_us()
+
+    def mem_release(self, chunk_size: int) -> float:
+        """Latency of one ``cuMemRelease`` (cheap: drops a refcount)."""
+        return 0.1 * self.mem_create(chunk_size)
+
+    def mem_map(self, chunk_size: int) -> float:
+        """Latency of one ``cuMemMap`` of a ``chunk_size`` chunk."""
+        return _loglog_interp(chunk_size, self._map_points) * self._unit_us()
+
+    def mem_unmap(self, chunk_size: int) -> float:
+        """Latency of one ``cuMemUnmap`` (modelled like map)."""
+        return self.mem_map(chunk_size)
+
+    def mem_set_access(self, chunk_size: int) -> float:
+        """Latency of one ``cuMemSetAccess`` over a ``chunk_size`` range."""
+        return _loglog_interp(chunk_size, self._access_points) * self._unit_us()
+
+    # ------------------------------------------------------------------
+    # Convenience aggregates
+    # ------------------------------------------------------------------
+    def vmm_alloc_total(self, total_size: int, chunk_size: int) -> float:
+        """End-to-end latency of building a ``total_size`` block from
+        ``chunk_size`` physical chunks: one reserve plus per-chunk
+        create+map+setAccess.  This is the quantity Figure 6 plots.
+        """
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        n_chunks = (total_size + chunk_size - 1) // chunk_size
+        per_chunk = (
+            self.mem_create(chunk_size)
+            + self.mem_map(chunk_size)
+            + self.mem_set_access(chunk_size)
+        )
+        return self.mem_address_reserve(total_size) + n_chunks * per_chunk
+
+    def vmm_breakdown(self, total_size: int, chunk_size: int) -> Dict[str, float]:
+        """Per-API latency totals for a ``total_size`` allocation, in
+        cuMemAlloc(2 GB) units — i.e. the rows of the paper's Table 1."""
+        n_chunks = (total_size + chunk_size - 1) // chunk_size
+        unit = self._unit_us()
+        rows = {
+            "cuMemReserve": self.mem_address_reserve(total_size) / unit,
+            "cuMemCreate": n_chunks * self.mem_create(chunk_size) / unit,
+            "cuMemMap": n_chunks * self.mem_map(chunk_size) / unit,
+            "cuMemSetAccess": n_chunks * self.mem_set_access(chunk_size) / unit,
+        }
+        rows["Total"] = sum(rows.values())
+        return rows

@@ -1,0 +1,206 @@
+"""Trace replay engine.
+
+``run_trace`` feeds a :class:`~repro.workloads.request.Trace` to an
+allocator on a fresh simulated device, advancing the clock by both the
+allocator's driver/host costs and the workload's per-iteration compute
+time, and records everything the paper's figures need: peak
+active/reserved memory, utilization, OOM events, per-iteration wall
+times and a memory timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.allocators.base import Allocation, BaseAllocator
+from repro.allocators.caching import CachingAllocator
+from repro.allocators.expandable import ExpandableSegmentsAllocator
+from repro.allocators.native import NativeAllocator
+from repro.allocators.vmm_naive import VmmNaiveAllocator
+from repro.core.allocator import GMLakeAllocator
+from repro.core.config import GMLakeConfig
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.sim.timeline import TimelinePoint
+from repro.units import A100_80GB, GB
+from repro.workloads.request import Op, Trace
+from repro.workloads.training import TrainingWorkload
+
+AllocatorFactory = Callable[[GpuDevice], BaseAllocator]
+
+#: Named allocator factories accepted everywhere a factory is.
+ALLOCATOR_FACTORIES: Dict[str, AllocatorFactory] = {
+    "caching": CachingAllocator,
+    "pytorch": CachingAllocator,  # alias: the PyTorch baseline
+    "gmlake": GMLakeAllocator,
+    "native": NativeAllocator,
+    "vmm-naive": VmmNaiveAllocator,
+    "expandable": ExpandableSegmentsAllocator,
+}
+
+
+def make_allocator(
+    kind: Union[str, AllocatorFactory], device: GpuDevice
+) -> BaseAllocator:
+    """Instantiate an allocator by name or factory on ``device``."""
+    if callable(kind):
+        return kind(device)
+    key = kind.lower()
+    if key not in ALLOCATOR_FACTORIES:
+        known = ", ".join(sorted(ALLOCATOR_FACTORIES))
+        raise KeyError(f"unknown allocator {kind!r}; known: {known}")
+    return ALLOCATOR_FACTORIES[key](device)
+
+
+def gmlake_factory(config: GMLakeConfig) -> AllocatorFactory:
+    """A factory for GMLake with a specific config (ablation benches)."""
+    return lambda device: GMLakeAllocator(device, config)
+
+
+@dataclass
+class EngineResult:
+    """Everything measured from one trace replay."""
+
+    allocator_name: str
+    meta: Dict[str, object]
+    peak_active_bytes: int = 0
+    peak_reserved_bytes: int = 0
+    oom: bool = False
+    oom_iteration: Optional[int] = None
+    oom_time_s: Optional[float] = None
+    iterations_completed: int = 0
+    total_time_s: float = 0.0
+    iter_times_s: List[float] = field(default_factory=list)
+    throughput_samples_per_s: float = 0.0
+    driver_time_us: float = 0.0
+    host_time_us: float = 0.0
+    malloc_count: int = 0
+    timeline: List[TimelinePoint] = field(default_factory=list)
+
+    @property
+    def utilization_ratio(self) -> float:
+        """Peak active / peak reserved — the paper's §5.1 metric."""
+        if self.peak_reserved_bytes == 0:
+            return 1.0
+        return self.peak_active_bytes / self.peak_reserved_bytes
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        """1 − utilization ratio."""
+        return 1.0 - self.utilization_ratio
+
+    @property
+    def peak_reserved_gb(self) -> float:
+        """Peak reserved memory in GB (the figures' RM axis)."""
+        return self.peak_reserved_bytes / GB
+
+    @property
+    def peak_active_gb(self) -> float:
+        """Peak active memory in GB."""
+        return self.peak_active_bytes / GB
+
+    def summary(self) -> str:
+        """One-line report used by the benches."""
+        oom = f" OOM@iter{self.oom_iteration}" if self.oom else ""
+        return (
+            f"{self.allocator_name:8s} reserved={self.peak_reserved_gb:6.2f}GB "
+            f"active={self.peak_active_gb:6.2f}GB "
+            f"util={self.utilization_ratio:5.1%} "
+            f"thru={self.throughput_samples_per_s:7.2f} samp/s{oom}"
+        )
+
+
+def run_trace(
+    allocator: BaseAllocator,
+    trace: Trace,
+    record_timeline: bool = False,
+    timeline_every: int = 32,
+) -> EngineResult:
+    """Replay ``trace`` against ``allocator`` and measure the outcome.
+
+    An allocator OOM aborts the replay (like the training job crashing)
+    and is recorded in the result rather than raised — batch-size sweeps
+    (Fig. 13) and the memory trace (Fig. 14) rely on observing it.
+    """
+    device = allocator.device
+    clock = device.clock
+    result = EngineResult(
+        allocator_name=allocator.name,
+        meta=dict(trace.meta),
+    )
+    live: Dict[str, Allocation] = {}
+    start_s = clock.now_s
+    iter_start_s = start_s
+    current_iter = 0
+    event_index = 0
+
+    def sample() -> None:
+        result.timeline.append(TimelinePoint(
+            time_s=clock.now_s - start_s,
+            active_bytes=allocator.active_bytes,
+            reserved_bytes=allocator.reserved_bytes,
+        ))
+
+    for event in trace.events:
+        event_index += 1
+        if event.op is Op.ALLOC:
+            try:
+                live[event.tensor] = allocator.malloc(event.size)
+            except OutOfMemoryError:
+                result.oom = True
+                result.oom_iteration = current_iter
+                result.oom_time_s = clock.now_s - start_s
+                break
+        elif event.op is Op.FREE:
+            allocation = live.pop(event.tensor, None)
+            if allocation is None:
+                raise ValueError(
+                    f"trace frees unknown tensor {event.tensor!r}"
+                )
+            allocator.free(allocation)
+        elif event.op is Op.ITER_START:
+            current_iter = int(event.tensor)
+            iter_start_s = clock.now_s
+        elif event.op is Op.ITER_END:
+            compute_list = trace.compute_us_per_iter
+            if current_iter < len(compute_list):
+                clock.advance(compute_list[current_iter])
+            result.iterations_completed += 1
+            result.iter_times_s.append(clock.now_s - iter_start_s)
+        if record_timeline and event_index % timeline_every == 0:
+            sample()
+
+    if record_timeline:
+        sample()
+    stats = allocator.stats()
+    result.peak_active_bytes = stats.peak_active_bytes
+    result.peak_reserved_bytes = stats.peak_reserved_bytes
+    result.driver_time_us = stats.driver_time_us
+    result.host_time_us = stats.host_time_us
+    result.malloc_count = stats.malloc_count
+    result.total_time_s = clock.now_s - start_s
+    global_batch = int(trace.meta.get("global_batch", 0) or 0)
+    if result.iterations_completed > 0 and global_batch:
+        # Steady-state throughput: skip warm-up iterations (GMLake's
+        # stitching converges within ~4 iterations, Fig. 14; the paper
+        # reports converged samples/s).
+        warmup = min(4, result.iterations_completed - 1)
+        steady = result.iter_times_s[warmup:]
+        if steady and sum(steady) > 0:
+            samples = global_batch * len(steady)
+            result.throughput_samples_per_s = samples / sum(steady)
+    return result
+
+
+def run_workload(
+    workload: TrainingWorkload,
+    allocator: Union[str, AllocatorFactory] = "caching",
+    capacity: int = A100_80GB,
+    record_timeline: bool = False,
+) -> EngineResult:
+    """Build the workload's trace and replay it on a fresh device."""
+    device = GpuDevice(capacity=capacity)
+    alloc = make_allocator(allocator, device)
+    trace = workload.build_trace()
+    return run_trace(alloc, trace, record_timeline=record_timeline)

@@ -1,0 +1,66 @@
+"""Memory-over-time sampling — the data behind the paper's Figure 14.
+
+The engine records ``(time, active, reserved)`` samples as it replays a
+trace; :func:`render_timeline` draws the two curves as ASCII so benches
+can print the memory-trace figure in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One sample of the memory trace."""
+
+    time_s: float
+    active_bytes: int
+    reserved_bytes: int
+
+
+def downsample(points: Sequence[TimelinePoint], max_points: int) -> List[TimelinePoint]:
+    """Evenly thin a timeline to at most ``max_points`` samples."""
+    if max_points <= 0:
+        raise ValueError("max_points must be positive")
+    if len(points) <= max_points:
+        return list(points)
+    step = len(points) / max_points
+    return [points[int(i * step)] for i in range(max_points)]
+
+
+def render_timeline(
+    points: Sequence[TimelinePoint],
+    width: int = 72,
+    height: int = 16,
+    capacity: int = 80 * GB,
+) -> str:
+    """ASCII plot of active (``#``) and reserved (``-``) memory vs time.
+
+    Mirrors Figure 14: reserved sits above active, and the gap between
+    the curves is the fragmentation the allocator carries.
+    """
+    if not points:
+        return "(empty timeline)"
+    samples = downsample(points, width)
+    top = max(max(p.reserved_bytes for p in samples), 1)
+    top = max(top, capacity // 2)
+    grid = [[" "] * len(samples) for _ in range(height)]
+    for x, p in enumerate(samples):
+        ry = min(height - 1, int(p.reserved_bytes / top * (height - 1)))
+        ay = min(height - 1, int(p.active_bytes / top * (height - 1)))
+        grid[ry][x] = "-"
+        grid[ay][x] = "#"
+    lines = []
+    for y in range(height - 1, -1, -1):
+        label = f"{top * (y + 1) / height / GB:5.1f}G |"
+        lines.append(label + "".join(grid[y]))
+    t0, t1 = samples[0].time_s, samples[-1].time_s
+    lines.append(" " * 7 + "+" + "-" * len(samples))
+    lines.append(
+        " " * 8 + f"t = {t0:.1f}s .. {t1:.1f}s   (#: active, -: reserved)"
+    )
+    return "\n".join(lines)

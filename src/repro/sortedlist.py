@@ -1,0 +1,128 @@
+"""A minimal sorted-by-key collection built on ``bisect``.
+
+Third-party ``sortedcontainers`` is not available offline, and both the
+BFC caching allocator (free lists sorted by size then address) and the
+GMLake pools (pBlocks/sBlocks sorted by size) need ordered sets with
+O(log n) insert/remove/lookup.  This helper keeps a parallel key list so
+``bisect`` can be used on arbitrary key functions across Python
+versions.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+K = TypeVar("K")
+
+
+class SortedKeyList(Generic[T]):
+    """A list of items kept sorted by ``key(item)``.
+
+    Keys need not be unique; items with equal keys are kept in insertion
+    order relative to each other.  ``remove`` matches by identity (``is``)
+    among equal-key items, so mutable items are safe as long as their key
+    does not change while they are in the list.
+    """
+
+    def __init__(self, key: Callable[[T], K], items: Optional[Iterable[T]] = None):
+        self._key = key
+        self._keys: List[K] = []
+        self._items: List[T] = []
+        if items is not None:
+            for item in items:
+                self.add(item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        idx = self._find(item)
+        return idx is not None
+
+    def __getitem__(self, index: int) -> T:
+        return self._items[index]
+
+    def _find(self, item: T) -> Optional[int]:
+        key = self._key(item)
+        lo = bisect.bisect_left(self._keys, key)
+        while lo < len(self._keys) and self._keys[lo] == key:
+            if self._items[lo] is item:
+                return lo
+            lo += 1
+        return None
+
+    def add(self, item: T) -> None:
+        """Insert ``item`` in key order."""
+        key = self._key(item)
+        idx = bisect.bisect_right(self._keys, key)
+        self._keys.insert(idx, key)
+        self._items.insert(idx, item)
+
+    def remove(self, item: T) -> None:
+        """Remove ``item`` (matched by identity). Raises ValueError if absent."""
+        idx = self._find(item)
+        if idx is None:
+            raise ValueError(f"item not in SortedKeyList: {item!r}")
+        del self._keys[idx]
+        del self._items[idx]
+
+    def discard(self, item: T) -> bool:
+        """Remove ``item`` if present; return whether it was removed."""
+        idx = self._find(item)
+        if idx is None:
+            return False
+        del self._keys[idx]
+        del self._items[idx]
+        return True
+
+    def first_at_least(self, key: K) -> Optional[T]:
+        """Smallest-keyed item with ``key(item) >= key`` (best fit)."""
+        idx = bisect.bisect_left(self._keys, key)
+        if idx < len(self._items):
+            return self._items[idx]
+        return None
+
+    def index_at_least(self, key: K) -> int:
+        """Index of the first item with key >= ``key`` (may be len)."""
+        return bisect.bisect_left(self._keys, key)
+
+    def pop_index(self, index: int) -> T:
+        """Remove and return the item at ``index``."""
+        item = self._items.pop(index)
+        del self._keys[index]
+        return item
+
+    def items_descending(self) -> Iterator[T]:
+        """Iterate items from largest key to smallest."""
+        return reversed(self._items)
+
+    def min(self) -> Optional[T]:
+        """Smallest-keyed item, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def max(self) -> Optional[T]:
+        """Largest-keyed item, or None when empty."""
+        return self._items[-1] if self._items else None
+
+    def clear(self) -> None:
+        """Remove every item."""
+        self._keys.clear()
+        self._items.clear()
+
+    def as_list(self) -> List[T]:
+        """A shallow copy of the items in key order."""
+        return list(self._items)
+
+    def check_sorted(self) -> bool:
+        """Invariant check used by property tests."""
+        return all(a <= b for a, b in zip(self._keys, self._keys[1:]))
+
+
+def sorted_pairs(items: Iterable[Tuple[K, T]]) -> List[T]:
+    """Sort ``(key, item)`` pairs by key and return the items."""
+    return [item for _, item in sorted(items, key=lambda kv: kv[0])]

@@ -1,0 +1,42 @@
+"""DNN-training workload generation.
+
+The allocator under test only ever sees an *allocation request stream*;
+this subpackage generates streams with the structure and statistics of
+the paper's fine-tuning workloads (Table 2):
+
+- :mod:`repro.workloads.models` — transformer model specs (OPT-1.3B …
+  GPT-NeoX-20B) with parameter-count arithmetic.
+- :mod:`repro.workloads.transformer` — per-layer tensor shapes.
+- :mod:`repro.workloads.strategies` — the memory-reduction strategies
+  (LoRA / recomputation / offload) and their allocation-pattern effects.
+- :mod:`repro.workloads.zero` — ZeRO-3 style sharding and gather
+  buffers vs. device count.
+- :mod:`repro.workloads.platforms` — DeepSpeed / FSDP / Colossal-AI
+  presets.
+- :mod:`repro.workloads.training` — the trace builder that assembles a
+  full fine-tuning run (setup + forward/backward/step per iteration).
+- :mod:`repro.workloads.request` — the trace event model.
+"""
+
+from repro.workloads.models import MODELS, ModelSpec, get_model
+from repro.workloads.platforms import Platform
+from repro.workloads.request import Op, Trace, TraceEvent, TraceStats
+from repro.workloads.strategies import StrategySet
+from repro.workloads.training import TrainingWorkload, estimate_compute_us
+from repro.workloads.zero import ZeroConfig, shard_bytes
+
+__all__ = [
+    "MODELS",
+    "ModelSpec",
+    "get_model",
+    "Platform",
+    "Op",
+    "Trace",
+    "TraceEvent",
+    "TraceStats",
+    "StrategySet",
+    "TrainingWorkload",
+    "estimate_compute_us",
+    "ZeroConfig",
+    "shard_bytes",
+]

@@ -1,0 +1,141 @@
+"""LLM inference serving workloads — the §6 vLLM-adjacent scenario.
+
+The paper positions GMLake as orthogonal to vLLM: vLLM defragments
+*inside* the attention KV cache, GMLake defragments the *memory pool*
+under any workload.  Serving is the harshest pool workload there is —
+requests with wildly different prompt/output lengths arrive and retire
+continuously, so KV-cache tensors of many sizes churn forever and a
+splitting allocator shreds its pool.
+
+This generator models a continuous-batching server:
+
+* model weights resident (no sharding — single-GPU serving);
+* per-request KV cache: ``2 (K,V) × layers × seq × hidden`` bytes,
+  allocated at admission for the request's full context length;
+* per-step activation workspace for the running batch;
+* requests retire after their (sampled) output length, freeing their
+  KV block — out of order with respect to admission.
+
+Sequence lengths are sampled from a seeded log-normal-ish mixture, like
+production traces; sizes therefore *never* repeat exactly, which is the
+worst case for exact-match caching and a stress test beyond the paper's
+training workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.units import align_up
+from repro.workloads.models import ModelSpec, get_model
+from repro.workloads.request import Trace
+
+#: Serving decode throughput used for the compute model (tokens/s/GPU,
+#: conservative A100 figure for a mid-size model).
+DECODE_TOKENS_PER_S = 3000.0
+
+
+def kv_bytes(model: ModelSpec, seq: int) -> int:
+    """KV-cache bytes for one request with ``seq`` total tokens."""
+    return 2 * model.n_layers * seq * model.hidden * model.dtype_bytes
+
+
+@dataclass
+class ServingWorkload:
+    """A continuous-batching inference server trace.
+
+    Attributes
+    ----------
+    model:
+        Model spec or registry name.
+    n_requests:
+        Total requests served.
+    max_batch:
+        Admission cap on concurrently running requests.
+    mean_prompt / mean_output:
+        Means of the sampled prompt and output token counts.
+    seed:
+        RNG seed; the trace is a deterministic function of the config.
+    """
+
+    model: Union[ModelSpec, str]
+    n_requests: int = 200
+    max_batch: int = 16
+    mean_prompt: int = 512
+    mean_output: int = 256
+    seed: int = 0
+
+    def __post_init__(self):
+        if isinstance(self.model, str):
+            self.model = get_model(self.model)
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+    def _sample_len(self, rng: random.Random, mean: int) -> int:
+        """Heavy-tailed length sample, clamped to the model context."""
+        value = int(rng.lognormvariate(0.0, 0.6) * mean)
+        return max(16, min(self.model.seq_len, align_up(value, 16)))
+
+    def build_trace(self) -> Trace:
+        """Generate the serving allocation trace.
+
+        The trace interleaves admissions (KV allocation) and
+        retirements (KV free) exactly as continuous batching does:
+        whenever a slot frees up, the next request is admitted.
+        """
+        model = self.model
+        rng = random.Random(self.seed * 6151 + 17)
+        trace = Trace(meta={
+            "model": model.name,
+            "kind": "serving",
+            "n_requests": self.n_requests,
+            "max_batch": self.max_batch,
+            "global_batch": self.max_batch,
+            "label": f"{model.name}/serving/{self.n_requests}req",
+        })
+        trace.alloc("weights", model.weight_bytes)
+
+        # Pre-sample every request's lifetime.
+        requests = []
+        for i in range(self.n_requests):
+            prompt = self._sample_len(rng, self.mean_prompt)
+            output = self._sample_len(rng, self.mean_output)
+            requests.append((i, prompt, output))
+
+        running: List[List[int]] = []  # [request id, remaining steps]
+        admitted = 0
+        step = 0
+        total_tokens = 0
+        trace.iter_start(0)
+        while admitted < self.n_requests or running:
+            # Admit up to the batch cap.
+            while admitted < self.n_requests and len(running) < self.max_batch:
+                req_id, prompt, output = requests[admitted]
+                trace.alloc(f"kv{req_id}", kv_bytes(model, prompt + output))
+                running.append([req_id, output])
+                admitted += 1
+            # One decode step for the whole batch.
+            workspace = f"ws{step}"
+            trace.alloc(
+                workspace,
+                model.activation_bytes(len(running), 1) * 4 or 1,
+            )
+            trace.free(workspace)
+            total_tokens += len(running)
+            # Retire finished requests (out of admission order).
+            for entry in list(running):
+                entry[1] -= 1
+                if entry[1] <= 0:
+                    trace.free(f"kv{entry[0]}")
+                    running.remove(entry)
+            step += 1
+        trace.iter_end(0)
+        trace.compute_us_per_iter.append(
+            total_tokens / DECODE_TOKENS_PER_S * 1e6
+        )
+        trace.meta["decode_steps"] = step
+        return trace

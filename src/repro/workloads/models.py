@@ -1,0 +1,123 @@
+"""Transformer model specifications.
+
+Covers the paper's Table 2 benchmark set (OPT-1.3B, GPT-2, GLM-10B,
+OPT-13B, Vicuna-13B, GPT-NeoX-20B) plus two extra models (OPT-6.7B,
+LLaMA-7B) to reach the "8 different models" of the §5 summary.
+
+Parameter counts use the standard dense-transformer arithmetic
+(≈ 12·h² per layer plus embeddings), which lands within a few percent
+of the published sizes — close enough for memory-footprint purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Shape of one dense decoder-only transformer.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"opt-13b"``.
+    n_layers / hidden / n_heads:
+        Transformer depth, model width, attention heads.
+    vocab_size:
+        Token vocabulary (drives embedding size).
+    seq_len:
+        Maximum training sequence length used in the experiments.
+    ffn_mult:
+        Feed-forward expansion factor (4 for GPT/OPT-family).
+    dtype_bytes:
+        Bytes per parameter/activation element (2 = fp16/bf16).
+    """
+
+    name: str
+    n_layers: int
+    hidden: int
+    n_heads: int
+    vocab_size: int
+    seq_len: int = 2048
+    ffn_mult: int = 4
+    dtype_bytes: int = 2
+
+    # ------------------------------------------------------------------
+    @property
+    def params_per_layer(self) -> int:
+        """Parameters in one transformer block.
+
+        QKV + output projection (4·h²) plus the two FFN matrices
+        (2·ffn_mult·h²) plus biases and layer norms (~13·h).
+        """
+        h = self.hidden
+        return (4 + 2 * self.ffn_mult) * h * h + 13 * h
+
+    @property
+    def embedding_params(self) -> int:
+        """Token (and position) embedding parameters."""
+        return self.vocab_size * self.hidden + self.seq_len * self.hidden
+
+    @property
+    def n_params(self) -> int:
+        """Total parameter count."""
+        return self.n_layers * self.params_per_layer + self.embedding_params
+
+    # ------------------------------------------------------------------
+    @property
+    def layer_weight_bytes(self) -> int:
+        """Bytes of one layer's weights at training precision."""
+        return self.params_per_layer * self.dtype_bytes
+
+    @property
+    def embedding_bytes(self) -> int:
+        """Bytes of the embedding tables at training precision."""
+        return self.embedding_params * self.dtype_bytes
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of all weights at training precision."""
+        return self.n_params * self.dtype_bytes
+
+    def activation_bytes(self, batch: int, seq: int) -> int:
+        """Bytes of one ``batch × seq × hidden`` activation tensor."""
+        return batch * seq * self.hidden * self.dtype_bytes
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.n_params / 1e9:.1f}B params)"
+
+
+#: The model registry: the paper's six benchmarks plus two fillers used
+#: by the 76-workload summary.
+MODELS: Dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in [
+        ModelSpec("opt-1.3b", n_layers=24, hidden=2048, n_heads=32,
+                  vocab_size=50272, seq_len=2048),
+        ModelSpec("gpt-2", n_layers=48, hidden=1600, n_heads=25,
+                  vocab_size=50257, seq_len=1024),
+        ModelSpec("opt-6.7b", n_layers=32, hidden=4096, n_heads=32,
+                  vocab_size=50272, seq_len=2048),
+        ModelSpec("llama-7b", n_layers=32, hidden=4096, n_heads=32,
+                  vocab_size=32000, seq_len=2048),
+        ModelSpec("glm-10b", n_layers=48, hidden=4096, n_heads=64,
+                  vocab_size=50304, seq_len=1024),
+        ModelSpec("opt-13b", n_layers=40, hidden=5120, n_heads=40,
+                  vocab_size=50272, seq_len=2048),
+        ModelSpec("vicuna-13b", n_layers=40, hidden=5120, n_heads=40,
+                  vocab_size=32000, seq_len=2048),
+        ModelSpec("gpt-neox-20b", n_layers=44, hidden=6144, n_heads=64,
+                  vocab_size=50432, seq_len=2048),
+    ]
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model spec by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODELS:
+        known = ", ".join(sorted(MODELS))
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+    return MODELS[key]

@@ -1,0 +1,87 @@
+"""Training-platform presets: DeepSpeed, FSDP, Colossal-AI (§5.2.3).
+
+The three platforms drive the same model math but differ in how they
+organize distributed memory traffic, which changes the allocation
+pattern the allocator sees:
+
+* **DeepSpeed ZeRO-3** — per-layer all-gather with prefetch depth 2,
+  many reduce buckets.
+* **FSDP** — one flat-parameter unit per layer, gather prefetch depth 1,
+  full-unit reduce-scatter.
+* **Colossal-AI** — chunk-based memory management: gathers are rounded
+  up to fixed-size chunks, so transient buffers come in a few repeated
+  sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.units import MB, align_up
+
+
+class Platform(enum.Enum):
+    """Supported training platforms."""
+
+    DEEPSPEED = "deepspeed"
+    FSDP = "fsdp"
+    COLOSSALAI = "colossalai"
+
+    @classmethod
+    def from_name(cls, name: str) -> "Platform":
+        """Parse a platform by name (case-insensitive, accepts aliases
+        ``ds`` and ``cai``)."""
+        key = name.strip().lower()
+        aliases = {"ds": "deepspeed", "cai": "colossalai"}
+        key = aliases.get(key, key)
+        for platform in cls:
+            if platform.value == key:
+                return platform
+        raise ValueError(f"unknown platform {name!r}")
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Allocation-relevant behaviour of a platform.
+
+    Attributes
+    ----------
+    prefetch_depth:
+        All-gather buffers kept in flight during forward/backward.
+    gather_rounding:
+        Transient gather buffers are rounded up to a multiple of this
+        (Colossal-AI's chunk size; 1 = exact layer size).
+    offload_buckets:
+        Optimizer-offload transfer buckets per step.
+    """
+
+    prefetch_depth: int
+    gather_rounding: int
+    offload_buckets: int
+
+
+_PROFILES = {
+    Platform.DEEPSPEED: PlatformProfile(
+        prefetch_depth=2, gather_rounding=1, offload_buckets=8
+    ),
+    Platform.FSDP: PlatformProfile(
+        prefetch_depth=1, gather_rounding=1, offload_buckets=4
+    ),
+    Platform.COLOSSALAI: PlatformProfile(
+        prefetch_depth=2, gather_rounding=64 * MB, offload_buckets=8
+    ),
+}
+
+
+def profile_for(platform: Platform) -> PlatformProfile:
+    """The allocation profile of ``platform``."""
+    return _PROFILES[platform]
+
+
+def round_gather(platform: Platform, size: int) -> int:
+    """Apply the platform's gather-buffer rounding to ``size``."""
+    rounding = profile_for(platform).gather_rounding
+    if rounding <= 1:
+        return size
+    return align_up(size, rounding)

@@ -1,0 +1,68 @@
+"""Trace serialization: save and load allocation traces as JSONL.
+
+Lets users capture a workload's allocation stream once and replay it
+against any allocator (or ship it as a bug report), the way the paper's
+authors captured real PyTorch allocator traces for Figure 5.
+
+Format: one JSON object per line.
+- line 1: ``{"kind": "meta", "meta": {...}, "compute_us_per_iter": [...]}``
+- then one line per event:
+  ``{"kind": "event", "op": "alloc", "tensor": "w0", "size": 123}``
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.workloads.request import Op, Trace, TraceEvent
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` as JSONL."""
+    path = Path(path)
+    with path.open("w") as handle:
+        header = {
+            "kind": "meta",
+            "meta": trace.meta,
+            "compute_us_per_iter": trace.compute_us_per_iter,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for event in trace.events:
+            record = {"kind": "event", "op": event.op.value,
+                      "tensor": event.tensor}
+            if event.op is Op.ALLOC:
+                record["size"] = event.size
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a JSONL trace written by :func:`save_trace`.
+
+    Raises ``ValueError`` on malformed input.
+    """
+    path = Path(path)
+    trace = Trace()
+    with path.open() as handle:
+        first = handle.readline()
+        if not first:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(first)
+        if header.get("kind") != "meta":
+            raise ValueError(f"{path}: first line must be the meta header")
+        trace.meta = dict(header.get("meta", {}))
+        trace.compute_us_per_iter = [
+            float(x) for x in header.get("compute_us_per_iter", [])
+        ]
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("kind") != "event":
+                raise ValueError(f"{path}:{line_no}: expected an event line")
+            op = Op(record["op"])
+            size = int(record.get("size", 0))
+            trace.events.append(TraceEvent(op, record["tensor"], size))
+    return trace

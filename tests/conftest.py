@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import GMLakeAllocator, GpuDevice
+from repro.allocators import CachingAllocator, NativeAllocator, VmmNaiveAllocator
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def device() -> GpuDevice:
+    """A full-size simulated A100-80GB."""
+    return GpuDevice()
+
+
+@pytest.fixture
+def small_device() -> GpuDevice:
+    """A 1 GB device, so OOM paths are cheap to trigger."""
+    return GpuDevice(capacity=1 * GB)
+
+
+@pytest.fixture
+def gmlake(device) -> GMLakeAllocator:
+    return GMLakeAllocator(device)
+
+
+@pytest.fixture
+def caching(device) -> CachingAllocator:
+    return CachingAllocator(device)
+
+
+@pytest.fixture
+def native(device) -> NativeAllocator:
+    return NativeAllocator(device)
+
+
+@pytest.fixture
+def vmm_naive(device) -> VmmNaiveAllocator:
+    return VmmNaiveAllocator(device)

@@ -1,0 +1,191 @@
+"""Behavioral tests for the BFC caching allocator."""
+
+import pytest
+
+from repro.allocators import CachingAllocator
+from repro.allocators.caching import (
+    LARGE_BUFFER,
+    MIN_BLOCK_SIZE,
+    MIN_LARGE_ALLOC,
+    ROUND_LARGE,
+    SMALL_BUFFER,
+    SMALL_SIZE,
+    pool_for,
+    round_size,
+    segment_size_for,
+    should_split,
+)
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.units import GB, KB, MB
+
+
+@pytest.fixture
+def device():
+    return GpuDevice(capacity=1 * GB)
+
+
+@pytest.fixture
+def caching(device):
+    return CachingAllocator(device)
+
+
+class TestRoundingPolicy:
+    def test_round_size_minimum(self):
+        assert round_size(1) == MIN_BLOCK_SIZE
+
+    def test_round_size_multiple_of_512(self):
+        assert round_size(513) == 1024
+
+    def test_pool_small_boundary(self):
+        assert pool_for(SMALL_SIZE) == "small"
+        assert pool_for(SMALL_SIZE + 512) == "large"
+
+    def test_segment_for_small_request(self):
+        assert segment_size_for(100 * KB) == SMALL_BUFFER
+
+    def test_segment_for_mid_request(self):
+        assert segment_size_for(5 * MB) == LARGE_BUFFER
+
+    def test_segment_for_huge_request_rounds_to_2mb(self):
+        assert segment_size_for(MIN_LARGE_ALLOC + 1) == MIN_LARGE_ALLOC + ROUND_LARGE
+
+    def test_should_split_small_pool(self):
+        assert should_split(2 * MB, 1 * MB, "small")
+        assert not should_split(1 * MB + 256, 1 * MB, "small")
+
+    def test_should_split_large_pool(self):
+        assert should_split(20 * MB, 5 * MB, "large")
+        assert not should_split(5 * MB + SMALL_SIZE, 5 * MB, "large")
+
+
+class TestCachingBehavior:
+    def test_free_does_not_return_memory_to_device(self, caching, device):
+        alloc = caching.malloc(50 * MB)
+        reserved = caching.reserved_bytes
+        caching.free(alloc)
+        assert caching.reserved_bytes == reserved
+        assert device.used_memory == reserved
+
+    def test_cache_hit_avoids_driver(self, caching, device):
+        alloc = caching.malloc(50 * MB)
+        caching.free(alloc)
+        calls_before = device.runtime.counters.malloc_calls
+        caching.malloc(50 * MB)
+        assert device.runtime.counters.malloc_calls == calls_before
+
+    def test_small_requests_share_a_segment(self, caching):
+        for _ in range(4):
+            caching.malloc(100 * KB)
+        assert caching.segment_count == 1
+        assert caching.reserved_bytes == SMALL_BUFFER
+
+    def test_mid_requests_get_20mb_segment(self, caching):
+        caching.malloc(2 * MB)
+        assert caching.reserved_bytes == LARGE_BUFFER
+
+    def test_split_leaves_remainder_in_pool(self, caching):
+        alloc = caching.malloc(50 * MB)
+        caching.free(alloc)
+        caching.malloc(30 * MB)  # best-fits into the 50 MB block, splits
+        assert caching.segment_count == 1
+        assert caching.free_block_count("large") == 1
+        assert caching.cached_bytes() == 20 * MB
+
+    def test_best_fit_prefers_smallest_sufficient(self, caching):
+        a = caching.malloc(30 * MB)
+        b = caching.malloc(60 * MB)
+        caching.free(a)
+        caching.free(b)
+        caching.malloc(25 * MB)  # must come from the 30 MB block
+        blocks = sorted(block.size for pool in ("large",)
+                        for block in caching._free_pools[pool])
+        assert 60 * MB in blocks
+
+    def test_coalesce_neighbours_on_free(self, caching):
+        whole = caching.malloc(60 * MB)
+        caching.free(whole)
+        a = caching.malloc(20 * MB)
+        b = caching.malloc(20 * MB)
+        c = caching.malloc(20 * MB)
+        for alloc in (a, b, c):
+            caching.free(alloc)
+        # All three re-merge into one 60 MB whole-segment block.
+        assert caching.free_block_count("large") == 1
+        assert caching._free_pools["large"].max().size == 60 * MB
+
+    def test_coalesce_only_within_segment(self, caching):
+        a = caching.malloc(30 * MB)
+        b = caching.malloc(30 * MB)
+        caching.free(a)
+        caching.free(b)
+        # Two separate segments: blocks cannot merge across them.
+        assert caching.free_block_count("large") == 2
+
+    def test_empty_cache_releases_whole_segments(self, caching, device):
+        alloc = caching.malloc(50 * MB)
+        caching.free(alloc)
+        caching.empty_cache()
+        assert caching.reserved_bytes == 0
+        assert device.used_memory == 0
+
+    def test_empty_cache_keeps_partial_segments(self, caching):
+        keep = caching.malloc(30 * MB)
+        free_me = caching.malloc(60 * MB)
+        caching.free(free_me)
+        caching.empty_cache()
+        assert caching.reserved_bytes == pytest.approx(30 * MB, abs=ROUND_LARGE)
+        caching.free(keep)
+
+    def test_fragmentation_emerges_from_interleaving(self, caching):
+        """Freeing every other block strands holes that cannot serve a
+        larger request — the paper's Figure 1 scenario."""
+        allocs = [caching.malloc(40 * MB) for _ in range(8)]
+        for alloc in allocs[::2]:
+            caching.free(alloc)
+        # 160 MB free in 40 MB holes, but an 80 MB request needs new memory.
+        reserved_before = caching.reserved_bytes
+        caching.malloc(80 * MB)
+        assert caching.reserved_bytes > reserved_before
+
+    def test_oom_releases_cache_then_retries(self, caching, device):
+        big = caching.malloc(600 * MB)
+        caching.free(big)
+        # 600 MB cached; a 700 MB request OOMs the device first, then the
+        # allocator frees the cached segment and retries successfully.
+        alloc = caching.malloc(700 * MB)
+        assert alloc.size == 700 * MB
+
+    def test_oom_raises_when_reclaim_insufficient(self, caching):
+        caching.malloc(600 * MB)  # still active, cannot be reclaimed
+        with pytest.raises(OutOfMemoryError):
+            caching.malloc(600 * MB)
+
+    def test_rounded_size_accounting(self, caching):
+        alloc = caching.malloc(1000)
+        assert alloc.rounded_size == 1024
+        assert caching.active_bytes == 1024
+
+    def test_invariants_after_mixed_workload(self, caching):
+        import random
+        rng = random.Random(7)
+        live = []
+        for step in range(300):
+            if live and rng.random() < 0.45:
+                caching.free(live.pop(rng.randrange(len(live))))
+            else:
+                size = rng.choice([64 * KB, 700 * KB, 3 * MB, 24 * MB, 50 * MB])
+                live.append(caching.malloc(size))
+            if step % 50 == 0:
+                caching.check_invariants()
+        for alloc in live:
+            caching.free(alloc)
+        caching.check_invariants()
+        assert caching.active_bytes == 0
+
+    def test_reserved_peak_recorded(self, caching):
+        alloc = caching.malloc(100 * MB)
+        caching.free(alloc)
+        caching.empty_cache()
+        assert caching.reserved_bytes == 0
+        assert caching.peak_reserved_bytes >= 100 * MB

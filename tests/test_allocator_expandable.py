@@ -1,0 +1,176 @@
+"""Tests for the expandable-segments allocator (extension)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.allocators import ExpandableSegmentsAllocator
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.units import GB, KB, MB
+
+
+@pytest.fixture
+def device():
+    return GpuDevice(capacity=1 * GB)
+
+
+@pytest.fixture
+def expandable(device):
+    return ExpandableSegmentsAllocator(device)
+
+
+class TestGrowth:
+    def test_first_alloc_grows_arena(self, expandable, device):
+        expandable.malloc(50 * MB)
+        assert expandable.reserved_bytes == 50 * MB
+        assert device.used_memory == 50 * MB
+
+    def test_growth_is_chunk_granular(self, expandable):
+        expandable.malloc(3 * MB)
+        assert expandable.reserved_bytes == 4 * MB
+
+    def test_growth_reuses_free_tail(self, expandable):
+        alloc = expandable.malloc(10 * MB)
+        expandable.free(alloc)
+        expandable.malloc(12 * MB)  # extends the free 10 MB tail by 2 MB
+        assert expandable.reserved_bytes == 12 * MB
+
+    def test_small_and_large_arenas_are_separate(self, expandable):
+        expandable.malloc(100 * KB)
+        expandable.malloc(30 * MB)
+        assert expandable.mapped_bytes("small") == 2 * MB
+        assert expandable.mapped_bytes("large") == 30 * MB
+
+    def test_uses_vmm_not_cudamalloc(self, expandable, device):
+        expandable.malloc(10 * MB)
+        assert device.runtime.counters.malloc_calls == 0
+        assert device.vmm.counters.create_calls == 5
+
+
+class TestNoSegmentBoundaries:
+    def test_freed_neighbours_coalesce_across_whole_arena(self, expandable):
+        """What BFC cannot do: blocks from different 'segments' merge."""
+        a = expandable.malloc(30 * MB)
+        b = expandable.malloc(30 * MB)
+        expandable.free(a)
+        expandable.free(b)
+        reserved = expandable.reserved_bytes
+        big = expandable.malloc(60 * MB)  # served by the merged hole
+        assert expandable.reserved_bytes == reserved
+        assert big.rounded_size == 60 * MB
+
+    def test_holes_cannot_be_stitched(self, expandable):
+        """What GMLake can do and expandable segments cannot: two
+        non-adjacent holes cannot serve one large request."""
+        a = expandable.malloc(30 * MB)
+        keep = expandable.malloc(2 * MB)
+        b = expandable.malloc(30 * MB)
+        expandable.free(a)
+        expandable.free(b)
+        reserved = expandable.reserved_bytes
+        expandable.malloc(60 * MB)  # must grow: holes are disjoint
+        assert expandable.reserved_bytes > reserved
+        expandable.free(keep)
+
+
+class TestTrimAndOom:
+    def test_empty_cache_trims_free_tail(self, expandable, device):
+        alloc = expandable.malloc(50 * MB)
+        expandable.free(alloc)
+        expandable.empty_cache()
+        assert expandable.reserved_bytes == 0
+        assert device.used_memory == 0
+
+    def test_trim_keeps_interior_holes(self, expandable):
+        hole = expandable.malloc(30 * MB)
+        keep = expandable.malloc(10 * MB)
+        expandable.free(hole)
+        expandable.empty_cache()
+        # The hole is below a live block: it cannot be unmapped.
+        assert expandable.reserved_bytes == 40 * MB
+        expandable.free(keep)
+
+    def test_oom_trims_then_retries(self, expandable):
+        big = expandable.malloc(600 * MB)
+        expandable.free(big)
+        alloc = expandable.malloc(900 * MB)  # trim 600, grow 900
+        assert alloc.rounded_size == 900 * MB
+
+    def test_oom_raises_when_pinned(self, expandable):
+        expandable.malloc(600 * MB)
+        with pytest.raises(OutOfMemoryError):
+            expandable.malloc(600 * MB)
+
+    def test_usable_after_oom(self, expandable):
+        keeper = expandable.malloc(600 * MB)
+        with pytest.raises(OutOfMemoryError):
+            expandable.malloc(600 * MB)
+        expandable.free(keeper)
+        assert expandable.malloc(500 * MB)
+
+
+class TestInvariantsAndProperties:
+    def test_invariants_after_mixed_ops(self, expandable):
+        import random
+        rng = random.Random(3)
+        live = []
+        for _ in range(200):
+            if live and rng.random() < 0.5:
+                expandable.free(live.pop(rng.randrange(len(live))))
+            else:
+                size = rng.choice([64 * KB, 3 * MB, 12 * MB, 40 * MB])
+                try:
+                    live.append(expandable.malloc(size))
+                except OutOfMemoryError:
+                    pass
+        expandable.check_invariants()
+        for alloc in live:
+            expandable.free(alloc)
+        expandable.check_invariants()
+        assert expandable.active_bytes == 0
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(1, 64 * MB),
+                              st.integers(0, 1000)), max_size=50))
+    def test_property_reserved_covers_active(self, steps):
+        allocator = ExpandableSegmentsAllocator(GpuDevice(capacity=2 * GB))
+        live = []
+        for is_alloc, size, index in steps:
+            if is_alloc or not live:
+                try:
+                    live.append(allocator.malloc(size))
+                except OutOfMemoryError:
+                    continue
+            else:
+                allocator.free(live.pop(index % len(live)))
+        allocator.check_invariants()
+        assert allocator.reserved_bytes >= allocator.active_bytes
+        for alloc in live:
+            allocator.free(alloc)
+        allocator.empty_cache()
+        assert allocator.device.used_memory == 0
+
+
+class TestOrderingVsOtherAllocators:
+    def test_fragmentation_ordering_on_interleaved_frees(self):
+        """caching <= expandable <= gmlake by utilization on the
+        paper's hole-stranding pattern."""
+        from repro.allocators import CachingAllocator
+        from repro.core import GMLakeAllocator
+
+        def stress(allocator):
+            allocs = [allocator.malloc(40 * MB) for _ in range(8)]
+            for alloc in allocs[::2]:
+                allocator.free(alloc)
+            allocator.malloc(80 * MB)
+            return allocator.stats().utilization_ratio
+
+        caching = stress(CachingAllocator(GpuDevice(capacity=2 * GB)))
+        expandable = stress(
+            ExpandableSegmentsAllocator(GpuDevice(capacity=2 * GB)))
+        gmlake = stress(GMLakeAllocator(GpuDevice(capacity=2 * GB)))
+        assert caching <= expandable + 1e-9
+        assert expandable <= gmlake + 1e-9
+        assert gmlake > 0.99

@@ -1,0 +1,69 @@
+"""Tests for the unpooled VMM allocator (§2.5 baseline)."""
+
+import pytest
+
+from repro.allocators import VmmNaiveAllocator
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def device():
+    return GpuDevice(capacity=1 * GB)
+
+
+class TestVmmNaive:
+    def test_alloc_rounds_to_chunk(self, device):
+        allocator = VmmNaiveAllocator(device, chunk_size=2 * MB)
+        alloc = allocator.malloc(3 * MB)
+        assert alloc.rounded_size == 4 * MB
+
+    def test_free_returns_memory_immediately(self, device):
+        allocator = VmmNaiveAllocator(device)
+        alloc = allocator.malloc(64 * MB)
+        assert device.used_memory == 64 * MB
+        allocator.free(alloc)
+        assert device.used_memory == 0
+        assert allocator.reserved_bytes == 0
+
+    def test_chunk_count_matches(self, device):
+        allocator = VmmNaiveAllocator(device, chunk_size=2 * MB)
+        allocator.malloc(64 * MB)
+        assert device.vmm.counters.create_calls == 32
+        assert device.vmm.counters.map_calls == 32
+
+    def test_larger_chunks_fewer_calls(self, device):
+        allocator = VmmNaiveAllocator(device, chunk_size=32 * MB)
+        allocator.malloc(64 * MB)
+        assert device.vmm.counters.create_calls == 2
+
+    def test_small_chunks_cost_more_time(self):
+        d1, d2 = GpuDevice(), GpuDevice()
+        fine = VmmNaiveAllocator(d1, chunk_size=2 * MB)
+        coarse = VmmNaiveAllocator(d2, chunk_size=128 * MB)
+        fine.malloc(512 * MB)
+        coarse.malloc(512 * MB)
+        assert d1.clock.now_us > 5 * d2.clock.now_us
+
+    def test_oom_rolls_back_cleanly(self, device):
+        allocator = VmmNaiveAllocator(device)
+        keeper = allocator.malloc(900 * MB)
+        with pytest.raises(OutOfMemoryError):
+            allocator.malloc(300 * MB)
+        # Partial chunks from the failed allocation were all released.
+        assert device.used_memory == 900 * MB
+        allocator.free(keeper)
+        assert device.used_memory == 0
+        assert device.vaspace.live_count == 0
+
+    def test_bad_chunk_size_rejected(self, device):
+        with pytest.raises(ValueError):
+            VmmNaiveAllocator(device, chunk_size=3 * MB)
+
+    def test_no_fragmentation_by_construction(self, device):
+        allocator = VmmNaiveAllocator(device)
+        allocs = [allocator.malloc(50 * MB) for _ in range(4)]
+        for alloc in allocs[::2]:
+            allocator.free(alloc)
+        assert allocator.reserved_bytes == allocator.active_bytes

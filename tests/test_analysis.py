@@ -1,0 +1,125 @@
+"""Tests for tables, experiment runners and the summary aggregator."""
+
+import pytest
+
+from repro.analysis import format_table, summarize
+from repro.analysis.experiments import (
+    batch_sweep,
+    first_oom_batch,
+    scaleout_sweep,
+    strategy_sweep,
+)
+from repro.analysis.tables import format_kv
+from repro.sim.engine import EngineResult
+from repro.sim.metrics import ComparisonRow
+from repro.units import GB
+
+
+def fake_result(reserved_gb, active_gb, oom=False):
+    return EngineResult(
+        allocator_name="fake",
+        meta={"batch_size": 4},
+        peak_active_bytes=int(active_gb * GB),
+        peak_reserved_bytes=int(reserved_gb * GB),
+        oom=oom,
+    )
+
+
+def fake_row(base_reserved, gml_reserved, active, oom_base=False, oom_gml=False):
+    return ComparisonRow(
+        label="w",
+        baseline=fake_result(base_reserved, active, oom_base),
+        gmlake=fake_result(gml_reserved, active, oom_gml),
+    )
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        # All lines are equally wide (aligned columns).
+        assert len({len(line) for line in lines}) == 1
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_format_table_title_and_empty(self):
+        assert "t" in format_table([], title="t")
+
+    def test_floats_formatted(self):
+        out = format_table([{"x": 0.123456}])
+        assert "0.123" in out
+
+    def test_bools_formatted(self):
+        out = format_table([{"x": True}])
+        assert "yes" in out
+
+    def test_format_kv(self):
+        out = format_kv("head", {"alpha": 1, "b": 2.5})
+        assert "head" in out and "alpha" in out and "2.500" in out
+
+
+class TestSummary:
+    def test_averages(self):
+        rows = [fake_row(10, 8, 7), fake_row(20, 15, 14)]
+        stats = summarize(rows)
+        assert stats.n_workloads == 2
+        assert stats.avg_saving_gb == pytest.approx((2 + 5) / 2)
+        assert stats.max_saving_gb == pytest.approx(5)
+
+    def test_mem_reduction_ratio_weighted(self):
+        rows = [fake_row(10, 8, 7), fake_row(20, 15, 14)]
+        stats = summarize(rows)
+        assert stats.mem_reduction_ratio == pytest.approx(7 / 30)
+
+    def test_oom_rows_counted_but_excluded(self):
+        rows = [fake_row(10, 8, 7), fake_row(20, 15, 14, oom_base=True)]
+        stats = summarize(rows)
+        assert stats.baseline_ooms == 1
+        assert stats.avg_saving_gb == pytest.approx(2.0)
+
+    def test_empty(self):
+        stats = summarize([])
+        assert stats.n_workloads == 0
+        assert stats.avg_saving_gb == 0.0
+
+    def test_as_dict_keys(self):
+        stats = summarize([fake_row(10, 9, 8)])
+        assert "avg saving (GB)" in stats.as_dict()
+
+
+class TestFirstOom:
+    def test_finds_first_oom(self):
+        rows = [fake_row(10, 9, 8)]
+        rows[0].baseline.meta["batch_size"] = 16
+        rows.append(fake_row(10, 9, 8, oom_base=True))
+        rows[1].baseline.meta["batch_size"] = 32
+        assert first_oom_batch(rows, "baseline") == 32
+        assert first_oom_batch(rows, "gmlake") is None
+
+
+class TestSweepsSmoke:
+    """Fast, small-model sweeps exercising the experiment runners."""
+
+    def test_strategy_sweep_shapes(self):
+        rows = strategy_sweep("opt-1.3b", batch_size=2, combos=("N", "LR"),
+                              iterations=4)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.gmlake.utilization_ratio >= row.baseline.utilization_ratio - 0.02
+
+    def test_scaleout_sweep_runs(self):
+        rows = scaleout_sweep("opt-1.3b", batch_size=2, gpu_counts=(1, 4),
+                              iterations=4)
+        assert len(rows) == 2
+        assert rows[1].baseline.meta["n_gpus"] == 4
+
+    def test_batch_sweep_detects_oom(self):
+        rows = batch_sweep("opt-1.3b", batch_sizes=(1, 4096), n_gpus=4,
+                           iterations=3)
+        assert not rows[0].baseline.oom
+        assert rows[1].baseline.oom and rows[1].gmlake.oom

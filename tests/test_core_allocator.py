@@ -1,0 +1,320 @@
+"""Behavioral tests for the GMLake allocator (strategy S1–S5)."""
+
+import pytest
+
+from repro.core import GMLakeAllocator, GMLakeConfig
+from repro.core.bestfit import FitState
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.units import GB, KB, MB
+
+
+@pytest.fixture
+def device():
+    return GpuDevice(capacity=1 * GB)
+
+
+@pytest.fixture
+def gml(device):
+    return GMLakeAllocator(device)
+
+
+def hits(allocator, state):
+    return allocator.counters.state_hits[state.value]
+
+
+class TestBasicAllocation:
+    def test_malloc_rounds_to_chunk(self, gml):
+        alloc = gml.malloc(5 * MB)
+        assert alloc.rounded_size == 6 * MB
+
+    def test_first_alloc_is_s4(self, gml):
+        gml.malloc(10 * MB)
+        assert hits(gml, FitState.INSUFFICIENT_BLOCKS) == 1
+
+    def test_free_keeps_physical_cached(self, gml, device):
+        alloc = gml.malloc(10 * MB)
+        gml.free(alloc)
+        assert device.used_memory == 10 * MB
+        assert gml.reserved_bytes == 10 * MB
+        assert gml.active_bytes == 0
+
+    def test_exact_match_reuses_block(self, gml, device):
+        alloc = gml.malloc(10 * MB)
+        gml.free(alloc)
+        used = device.used_memory
+        gml.malloc(10 * MB)
+        assert device.used_memory == used
+        assert hits(gml, FitState.EXACT_MATCH) == 1
+
+    def test_s2_split_serves_smaller_request(self, gml, device):
+        alloc = gml.malloc(10 * MB)
+        gml.free(alloc)
+        used = device.used_memory
+        smaller = gml.malloc(4 * MB)
+        assert device.used_memory == used  # no new physical memory
+        assert hits(gml, FitState.SINGLE_BLOCK) == 1
+        assert smaller.rounded_size == 4 * MB
+        assert gml.counters.splits == 1
+
+    def test_s3_stitches_fragments(self, gml, device):
+        a = gml.malloc(6 * MB)
+        b = gml.malloc(6 * MB)
+        gml.free(a)
+        gml.free(b)
+        used = device.used_memory
+        big = gml.malloc(12 * MB)
+        assert device.used_memory == used
+        assert hits(gml, FitState.MULTIPLE_BLOCKS) == 1
+        assert gml.counters.stitches >= 1
+        assert big.rounded_size == 12 * MB
+
+    def test_s4_partial_stitch_with_new_block(self, gml, device):
+        a = gml.malloc(6 * MB)
+        gml.free(a)
+        gml.malloc(10 * MB)  # 6 cached + 4 new
+        assert device.used_memory == 10 * MB
+        assert gml.counters.alloc_pblocks == 2  # first block + shortfall
+
+    def test_figure1_scenario(self, gml, device):
+        """Blocks 2 and 5 freed; block 6 fits via stitching (Figure 1)."""
+        one = gml.malloc(100 * MB)
+        two = gml.malloc(200 * MB)
+        three = gml.malloc(300 * MB)
+        gml.free(two)
+        gml.free(one)
+        used = device.used_memory
+        six = gml.malloc(300 * MB)  # needs 2+5's combined space
+        assert device.used_memory == used
+        gml.free(three)
+        gml.free(six)
+
+
+class TestSmallPool:
+    def test_small_requests_bypass_vmm(self, gml, device):
+        gml.malloc(100 * KB)
+        assert device.vmm.counters.create_calls == 0
+        assert gml.reserved_bytes == 2 * MB  # one small segment
+
+    def test_small_free_and_reuse(self, gml):
+        alloc = gml.malloc(64 * KB)
+        gml.free(alloc)
+        gml.malloc(64 * KB)
+        assert gml.reserved_bytes == 2 * MB
+
+    def test_small_and_large_accounted_together(self, gml):
+        gml.malloc(100 * KB)
+        gml.malloc(10 * MB)
+        assert gml.reserved_bytes == 12 * MB
+
+
+class TestDeallocationModule:
+    def test_update_marks_inactive_without_driver_calls(self, gml, device):
+        alloc = gml.malloc(10 * MB)
+        unmaps = device.vmm.counters.unmap_calls
+        gml.free(alloc)
+        assert device.vmm.counters.unmap_calls == unmaps
+
+    def test_sblock_free_deactivates_members(self, gml):
+        a = gml.malloc(6 * MB)
+        b = gml.malloc(6 * MB)
+        gml.free(a)
+        gml.free(b)
+        big = gml.malloc(12 * MB)  # stitched
+        gml.free(big)
+        assert all(not p.active for p in gml.ppool)
+
+    def test_stitch_free_lru_eviction(self, device):
+        config = GMLakeConfig(max_spool_blocks=1)
+        gml = GMLakeAllocator(device, config)
+        a = gml.malloc(6 * MB)
+        b = gml.malloc(6 * MB)
+        gml.free(a)
+        gml.free(b)
+        big = gml.malloc(12 * MB)  # creates sBlock #1
+        gml.free(big)
+        c = gml.malloc(4 * MB)
+        d = gml.malloc(8 * MB)
+        gml.free(c)
+        gml.free(d)
+        gml.malloc(12 * MB)  # creates sBlock #2 -> evicts LRU
+        assert len(gml.spool) <= 1
+        assert gml.counters.stitch_frees >= 1
+
+
+class TestTightSpoolCap:
+    def test_fresh_sblock_never_evicted_before_assignment(self, device):
+        """Regression: with a tight sPool cap, the LRU must not evict
+        the sBlock created for the in-flight allocation (that would hand
+        the tensor a destroyed block and double-book its chunks)."""
+        config = GMLakeConfig(max_spool_blocks=1)
+        gml = GMLakeAllocator(device, config)
+        live = []
+        # Repeatedly force stitches of different sizes under cap 1.
+        for step, size in enumerate([6, 6, 12, 4, 8, 12, 10, 22, 6, 28]):
+            alloc = gml.malloc(size * MB)
+            live.append(alloc)
+            if step % 2 == 1:
+                gml.free(live.pop(0))
+            gml.check_invariants()
+            assert gml.active_bytes <= gml.reserved_bytes
+        for alloc in live:
+            gml.free(alloc)
+        gml.check_invariants()
+
+    def test_cap_zero_does_not_livelock(self, device):
+        gml = GMLakeAllocator(device, GMLakeConfig(max_spool_blocks=0))
+        a = gml.malloc(6 * MB)
+        b = gml.malloc(6 * MB)
+        gml.free(a)
+        gml.free(b)
+        big = gml.malloc(12 * MB)  # stitch under cap 0: protected block
+        assert big.rounded_size == 12 * MB
+        gml.check_invariants()
+
+
+class TestReclaimAndOom:
+    def test_stitch_avoids_reclaim(self, gml, device):
+        big = gml.malloc(600 * MB)
+        gml.free(big)
+        # 600 MB cached; a 700 MB request stitches cache + 100 MB of new
+        # memory instead of releasing anything — cheaper than reclaim.
+        alloc = gml.malloc(700 * MB)
+        assert alloc.rounded_size == 700 * MB
+        assert gml.counters.reclaims == 0
+        assert device.used_memory == 700 * MB
+
+    def test_reclaim_releases_inactive_blocks(self, device):
+        # With stitching disabled the cached 600 MB block cannot help a
+        # 700 MB request; the allocator must reclaim it and re-allocate.
+        gml = GMLakeAllocator(device, GMLakeConfig(enable_stitch=False))
+        big = gml.malloc(600 * MB)
+        gml.free(big)
+        alloc = gml.malloc(700 * MB)
+        assert alloc.rounded_size == 700 * MB
+        assert gml.counters.reclaims == 1
+        assert device.used_memory == 700 * MB
+
+    def test_oom_when_active_blocks_pin_memory(self, gml):
+        gml.malloc(600 * MB)
+        with pytest.raises(OutOfMemoryError):
+            gml.malloc(600 * MB)
+        assert hits(gml, FitState.OOM) == 1
+
+    def test_oom_error_reports_numbers(self, gml):
+        gml.malloc(600 * MB)
+        with pytest.raises(OutOfMemoryError) as exc:
+            gml.malloc(900 * MB)
+        assert exc.value.capacity == 1 * GB
+        assert exc.value.active == 600 * MB
+
+    def test_empty_cache_releases_everything_inactive(self, gml, device):
+        a = gml.malloc(100 * MB)
+        b = gml.malloc(50 * MB)
+        gml.free(a)
+        gml.empty_cache()
+        assert gml.reserved_bytes == 50 * MB + 0  # only b's block remains
+        gml.free(b)
+        gml.empty_cache()
+        assert device.used_memory == 0
+
+    def test_allocator_usable_after_oom(self, gml):
+        keeper = gml.malloc(600 * MB)
+        with pytest.raises(OutOfMemoryError):
+            gml.malloc(600 * MB)
+        gml.free(keeper)
+        assert gml.malloc(600 * MB).rounded_size == 600 * MB
+
+
+class TestStitchingSemantics:
+    def test_sblock_exact_reuse(self, gml):
+        a = gml.malloc(6 * MB)
+        b = gml.malloc(6 * MB)
+        gml.free(a)
+        gml.free(b)
+        big = gml.malloc(12 * MB)
+        gml.free(big)
+        before = gml.counters.stitches
+        gml.malloc(12 * MB)  # the stitched sBlock serves again
+        assert gml.counters.stitches == before
+        assert hits(gml, FitState.EXACT_MATCH) >= 1
+
+    def test_owned_sblock_members_are_protected(self, gml):
+        a = gml.malloc(6 * MB)
+        b = gml.malloc(6 * MB)
+        gml.free(a)
+        gml.free(b)
+        big = gml.malloc(12 * MB)  # sBlock over both pBlocks
+        # While `big` is live its member chunks must not be reassigned:
+        other = gml.malloc(6 * MB)
+        assert other.ptr != a.ptr and other.ptr != b.ptr
+        gml.check_invariants()
+
+    def test_split_preserves_referencing_sblocks(self, gml):
+        a = gml.malloc(6 * MB)
+        b = gml.malloc(10 * MB)
+        gml.free(a)
+        gml.free(b)
+        big = gml.malloc(16 * MB)  # sBlock(a', b')
+        gml.free(big)
+        spool_size = len(gml.spool)
+        gml.malloc(4 * MB)  # splits one member
+        assert len(gml.spool) >= spool_size  # nothing destroyed
+        gml.check_invariants()
+
+    def test_stitch_disabled_ablation(self, device):
+        config = GMLakeConfig(enable_stitch=False)
+        gml = GMLakeAllocator(device, config)
+        a = gml.malloc(6 * MB)
+        b = gml.malloc(6 * MB)
+        gml.free(a)
+        gml.free(b)
+        gml.malloc(12 * MB)
+        assert gml.counters.stitches == 0
+        assert gml.reserved_bytes == 24 * MB  # had to allocate fresh
+
+    def test_invariants_hold_through_random_workload(self, gml):
+        import random
+        rng = random.Random(11)
+        live = []
+        for step in range(250):
+            if live and rng.random() < 0.5:
+                gml.free(live.pop(rng.randrange(len(live))))
+            else:
+                size = rng.choice(
+                    [512 * KB, 2 * MB, 5 * MB, 12 * MB, 30 * MB, 64 * MB]
+                )
+                try:
+                    live.append(gml.malloc(size))
+                except OutOfMemoryError:
+                    pass
+            if step % 50 == 0:
+                gml.check_invariants()
+        for alloc in live:
+            gml.free(alloc)
+        gml.check_invariants()
+        assert gml.active_bytes == 0
+
+
+class TestAccountingInvariants:
+    def test_reserved_never_below_active(self, gml):
+        allocs = [gml.malloc(20 * MB) for _ in range(5)]
+        assert gml.reserved_bytes >= gml.active_bytes
+        for alloc in allocs:
+            gml.free(alloc)
+        assert gml.reserved_bytes >= gml.active_bytes
+
+    def test_stats_utilization(self, gml):
+        gml.malloc(100 * MB)
+        stats = gml.stats()
+        assert stats.utilization_ratio == pytest.approx(1.0)
+
+    def test_no_fragmentation_at_peak(self, gml):
+        """The §4.2.1 effectiveness claim: when memory peaks through
+        Alloc, utilization is full."""
+        a = gml.malloc(100 * MB)
+        b = gml.malloc(60 * MB)
+        gml.free(a)
+        gml.malloc(160 * MB)  # peak: stitches a's block + new memory
+        stats = gml.stats()
+        assert stats.utilization_ratio > 0.95

@@ -1,0 +1,114 @@
+"""Failure injection: allocators must stay consistent when the driver
+throws OOM at arbitrary points inside multi-call operations.
+
+GMLake's Alloc maps many chunks per block and its reclaim path tears
+down and rebuilds state; a mid-operation ``cuMemCreate`` failure must
+never leak chunks, strand VA reservations, or corrupt the pools.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.allocators import CachingAllocator, VmmNaiveAllocator
+from repro.core import GMLakeAllocator
+from repro.errors import CudaOutOfMemoryError, OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.units import GB, MB
+
+
+class FlakyDevice(GpuDevice):
+    """A device whose physical allocator fails on chosen call numbers."""
+
+    def __init__(self, capacity, fail_on=()):
+        super().__init__(capacity=capacity)
+        self._create_calls = itertools.count(1)
+        self._fail_on = set(fail_on)
+        original_create = self.phys.create
+
+        def flaky_create(size):
+            call = next(self._create_calls)
+            if call in self._fail_on:
+                raise CudaOutOfMemoryError(size, self.phys.free, capacity)
+            return original_create(size)
+
+        self.phys.create = flaky_create
+
+
+class TestGMLakeFaults:
+    @pytest.mark.parametrize("fail_call", [1, 2, 5, 9, 10])
+    def test_alloc_failure_mid_block_is_clean(self, fail_call):
+        device = FlakyDevice(capacity=1 * GB, fail_on=[fail_call])
+        allocator = GMLakeAllocator(device)
+        # 20 MB = 10 chunks; the chosen create call fails. The reclaim
+        # retry then succeeds (the failure is transient by injection).
+        allocation = allocator.malloc(20 * MB)
+        assert allocation.rounded_size == 20 * MB
+        allocator.check_invariants()
+        # No leaked chunks: reserved matches the pool exactly.
+        assert device.used_memory == allocator.reserved_bytes
+
+    def test_persistent_failure_surfaces_oom(self):
+        device = FlakyDevice(capacity=1 * GB, fail_on=range(1, 1000))
+        allocator = GMLakeAllocator(device)
+        with pytest.raises(OutOfMemoryError):
+            allocator.malloc(20 * MB)
+        allocator.check_invariants()
+        assert device.used_memory == 0
+        assert device.vaspace.live_count == 0
+
+    def test_failure_during_s4_shortfall_alloc(self):
+        device = FlakyDevice(capacity=1 * GB, fail_on=[8])
+        allocator = GMLakeAllocator(device)
+        small = allocator.malloc(6 * MB)   # 3 chunks (calls 1-3)
+        allocator.free(small)
+        # 16 MB: stitches the 6 MB block with a new 10 MB block whose
+        # 5 creates are calls 4-8 — call 8 fails mid-Alloc.
+        allocation = allocator.malloc(16 * MB)
+        assert allocation.rounded_size == 16 * MB
+        allocator.check_invariants()
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.sets(st.integers(1, 60), max_size=8))
+    def test_random_fault_patterns_never_corrupt(self, fail_calls):
+        device = FlakyDevice(capacity=1 * GB, fail_on=fail_calls)
+        allocator = GMLakeAllocator(device)
+        live = []
+        for size in (10 * MB, 6 * MB, 30 * MB, 14 * MB, 22 * MB):
+            try:
+                live.append(allocator.malloc(size))
+            except OutOfMemoryError:
+                pass
+            if len(live) > 2:
+                allocator.free(live.pop(0))
+        allocator.check_invariants()
+        for allocation in live:
+            allocator.free(allocation)
+        allocator.check_invariants()
+        allocator.empty_cache()
+        assert device.used_memory == 0
+
+
+class TestOtherAllocatorsFaults:
+    def test_vmm_naive_mid_alloc_failure(self):
+        device = FlakyDevice(capacity=1 * GB, fail_on=[3])
+        allocator = VmmNaiveAllocator(device)
+        with pytest.raises(OutOfMemoryError):
+            allocator.malloc(10 * MB)  # 5 chunks, call 3 fails
+        assert device.used_memory == 0
+        assert device.vaspace.live_count == 0
+        # The allocator remains usable afterwards.
+        allocation = allocator.malloc(10 * MB)
+        assert allocation.rounded_size == 10 * MB
+
+    def test_caching_failure_then_reclaim(self):
+        device = FlakyDevice(capacity=1 * GB, fail_on=[2])
+        allocator = CachingAllocator(device)
+        first = allocator.malloc(50 * MB)   # create call 1
+        allocator.free(first)
+        # Call 2 fails -> release_cached + retry (call 3) succeeds.
+        allocation = allocator.malloc(100 * MB)
+        assert allocation.rounded_size == 100 * MB
+        allocator.check_invariants()

@@ -1,0 +1,112 @@
+"""Tests for the Table-1/Figure-6-calibrated latency model."""
+
+import pytest
+
+from repro.gpu.latency import LatencyModel
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def latency() -> LatencyModel:
+    return LatencyModel()
+
+
+class TestTable1Calibration:
+    """The breakdown must regenerate the paper's Table 1 numbers."""
+
+    def test_2mb_chunks_total(self, latency):
+        rows = latency.vmm_breakdown(2 * GB, 2 * MB)
+        assert rows["Total"] == pytest.approx(115.4, abs=0.5)
+
+    def test_2mb_chunks_create(self, latency):
+        rows = latency.vmm_breakdown(2 * GB, 2 * MB)
+        assert rows["cuMemCreate"] == pytest.approx(18.1, rel=0.01)
+
+    def test_2mb_chunks_set_access(self, latency):
+        rows = latency.vmm_breakdown(2 * GB, 2 * MB)
+        assert rows["cuMemSetAccess"] == pytest.approx(96.8, rel=0.01)
+
+    def test_2mb_chunks_map(self, latency):
+        rows = latency.vmm_breakdown(2 * GB, 2 * MB)
+        assert rows["cuMemMap"] == pytest.approx(0.70, rel=0.01)
+
+    def test_128mb_chunks_total(self, latency):
+        rows = latency.vmm_breakdown(2 * GB, 128 * MB)
+        assert rows["Total"] == pytest.approx(9.1, abs=0.1)
+
+    def test_1gb_chunks_total(self, latency):
+        rows = latency.vmm_breakdown(2 * GB, 1024 * MB)
+        assert rows["Total"] == pytest.approx(1.5, abs=0.05)
+
+    def test_reserve_is_cheap(self, latency):
+        rows = latency.vmm_breakdown(2 * GB, 2 * MB)
+        assert rows["cuMemReserve"] == pytest.approx(0.003, abs=0.001)
+
+
+class TestFigure6Shape:
+    """Latency vs chunk size must fall monotonically (the Fig. 6 curve)."""
+
+    def test_smaller_chunks_cost_more(self, latency):
+        chunks = [2 * MB * (1 << i) for i in range(10)]
+        costs = [latency.vmm_alloc_total(2 * GB, c) for c in chunks]
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+    def test_2mb_chunks_over_100x_native(self, latency):
+        vmm = latency.vmm_alloc_total(2 * GB, 2 * MB)
+        native = latency.cuda_malloc(2 * GB)
+        assert vmm / native > 100
+
+    def test_1gb_chunks_near_native(self, latency):
+        vmm = latency.vmm_alloc_total(2 * GB, 1024 * MB)
+        native = latency.cuda_malloc(2 * GB)
+        assert vmm / native < 2.0
+
+    def test_larger_blocks_cost_more_at_fixed_chunk(self, latency):
+        assert latency.vmm_alloc_total(2 * GB, 2 * MB) > latency.vmm_alloc_total(
+            1 * GB, 2 * MB
+        )
+
+    def test_total_scales_with_chunk_count(self, latency):
+        one = latency.vmm_alloc_total(512 * MB, 2 * MB)
+        two = latency.vmm_alloc_total(1 * GB, 2 * MB)
+        # Twice the chunks, same single reserve: slightly less than 2x.
+        assert 1.9 < two / one < 2.0
+
+
+class TestRuntimeLatency:
+    def test_cuda_malloc_affine_in_size(self, latency):
+        small = latency.cuda_malloc(1 * MB)
+        large = latency.cuda_malloc(10 * GB)
+        assert large > small
+        assert small >= latency.cuda_malloc_fixed_us
+
+    def test_cuda_free_cheaper_than_malloc(self, latency):
+        assert latency.cuda_free(1 * GB) < latency.cuda_malloc(1 * GB)
+
+    def test_rescaling_unit_rescales_everything(self):
+        base = LatencyModel()
+        double = LatencyModel(cu_malloc_2gb_us=base.cu_malloc_2gb_us * 2)
+        assert double.mem_create(2 * MB) == pytest.approx(
+            2 * base.mem_create(2 * MB)
+        )
+        assert double.mem_set_access(128 * MB) == pytest.approx(
+            2 * base.mem_set_access(128 * MB)
+        )
+
+    def test_release_cheaper_than_create(self, latency):
+        assert latency.mem_release(2 * MB) < latency.mem_create(2 * MB)
+
+    def test_unmap_matches_map(self, latency):
+        assert latency.mem_unmap(64 * MB) == latency.mem_map(64 * MB)
+
+    def test_interpolation_between_calibration_points(self, latency):
+        # 16 MB sits between 2 MB and 128 MB: per-call create cost must
+        # lie between the calibrated endpoints.
+        lo = latency.mem_create(2 * MB)
+        hi = latency.mem_create(128 * MB)
+        mid = latency.mem_create(16 * MB)
+        assert lo < mid < hi
+
+    def test_bad_chunk_size_rejected(self, latency):
+        with pytest.raises(ValueError):
+            latency.vmm_alloc_total(1 * GB, 0)

@@ -1,0 +1,103 @@
+"""Tests for the allocator memory-report module."""
+
+import pytest
+
+from repro.allocators import CachingAllocator, NativeAllocator
+from repro.analysis import fragmentation_headroom, report_for
+from repro.core import GMLakeAllocator
+from repro.gpu.device import GpuDevice
+from repro.units import GB, MB
+
+
+@pytest.fixture
+def device():
+    return GpuDevice(capacity=2 * GB)
+
+
+def strand_holes(allocator):
+    """Allocate 8x40MB, free every other one: four 40 MB holes."""
+    allocs = [allocator.malloc(40 * MB) for _ in range(8)]
+    for alloc in allocs[::2]:
+        allocator.free(alloc)
+    return allocs[1::2]
+
+
+class TestCachingReport:
+    def test_accounts_free_blocks(self, device):
+        allocator = CachingAllocator(device)
+        strand_holes(allocator)
+        report = report_for(allocator)
+        assert report.free_block_count == 4
+        assert report.free_bytes == 160 * MB
+        assert report.largest_free_block == 40 * MB
+
+    def test_max_servable_is_largest_hole(self, device):
+        allocator = CachingAllocator(device)
+        strand_holes(allocator)
+        report = report_for(allocator)
+        assert report.max_servable == 40 * MB  # holes cannot combine
+
+    def test_headroom_zero_without_stitching(self, device):
+        allocator = CachingAllocator(device)
+        strand_holes(allocator)
+        assert fragmentation_headroom(allocator) == 0
+
+    def test_histogram_buckets(self, device):
+        allocator = CachingAllocator(device)
+        strand_holes(allocator)
+        report = report_for(allocator)
+        assert sum(report.free_histogram.values()) == 4
+
+    def test_render_mentions_fields(self, device):
+        allocator = CachingAllocator(device)
+        strand_holes(allocator)
+        text = report_for(allocator).render()
+        assert "reserved" in text and "histogram" in text
+
+
+class TestGMLakeReport:
+    def test_max_servable_sums_stitchable(self, device):
+        allocator = GMLakeAllocator(device)
+        strand_holes(allocator)
+        report = report_for(allocator)
+        assert report.free_bytes == 160 * MB
+        # Stitching fuses all four holes into one servable region.
+        assert report.max_servable == 160 * MB
+
+    def test_headroom_positive_with_stitching(self, device):
+        allocator = GMLakeAllocator(device)
+        strand_holes(allocator)
+        assert fragmentation_headroom(allocator) == 120 * MB
+
+    def test_headroom_matches_actual_allocability(self, device):
+        """The reported headroom must be genuinely allocatable: a
+        request of max_servable bytes succeeds without new physical
+        memory."""
+        allocator = GMLakeAllocator(device)
+        strand_holes(allocator)
+        report = report_for(allocator)
+        used_before = device.used_memory
+        allocator.malloc(report.max_servable)
+        assert device.used_memory == used_before
+
+
+class TestExpandableReport:
+    def test_disjoint_holes_not_fused(self, device):
+        from repro.allocators import ExpandableSegmentsAllocator
+        allocator = ExpandableSegmentsAllocator(device)
+        strand_holes(allocator)
+        report = report_for(allocator)
+        assert report.free_block_count == 4
+        assert report.largest_free_block == 40 * MB
+        assert report.max_servable == 40 * MB
+        assert fragmentation_headroom(allocator) == 0
+
+
+class TestGenericReport:
+    def test_native_report(self, device):
+        allocator = NativeAllocator(device, op_amplification=1)
+        allocator.malloc(100 * MB)
+        report = report_for(allocator)
+        assert report.reserved_bytes == 100 * MB
+        assert report.free_bytes == 0
+        assert report.free_block_count == 0

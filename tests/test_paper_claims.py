@@ -1,0 +1,174 @@
+"""Integration tests: the paper's headline claims, on reduced configs.
+
+Each test reproduces the *shape* of one published result — who wins, in
+which direction, and by roughly what kind of margin — on workloads small
+enough for CI.
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    batch_sweep,
+    first_oom_batch,
+    scaleout_sweep,
+    strategy_sweep,
+)
+from repro.core import GMLakeAllocator
+from repro.core.bestfit import FitState
+from repro.gpu.device import GpuDevice
+from repro.sim import run_trace, run_workload
+from repro.units import GB, MB
+from repro.workloads import TrainingWorkload
+
+
+class TestObservation1Strategies:
+    """§2.3: more strategies -> more caching-allocator fragmentation;
+    Figure 10: GMLake eliminates it."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return strategy_sweep("opt-1.3b", batch_size=8, iterations=8)
+
+    def test_plain_training_barely_fragments(self, rows):
+        plain = rows[0]
+        assert plain.baseline.meta["strategies"] == "N"
+        assert plain.baseline.utilization_ratio > 0.90
+
+    def test_strategies_fragment_the_caching_allocator(self, rows):
+        plain = rows[0].baseline.utilization_ratio
+        for row in rows[1:]:
+            assert row.baseline.utilization_ratio < plain
+
+    def test_gmlake_holds_high_utilization_everywhere(self, rows):
+        for row in rows:
+            assert row.gmlake.utilization_ratio > 0.95
+
+    def test_gmlake_never_reserves_more(self, rows):
+        for row in rows:
+            assert row.gmlake.peak_reserved_bytes <= (
+                row.baseline.peak_reserved_bytes + 64 * MB
+            )
+
+    def test_throughput_comparable(self, rows):
+        for row in rows:
+            assert row.throughput_ratio == pytest.approx(1.0, abs=0.1)
+
+
+class TestObservation2Scaleout:
+    """§2.4 / Figure 11: utilization declines with GPU count for the
+    baseline; GMLake stays ~flat."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return scaleout_sweep("opt-1.3b", batch_size=8,
+                              gpu_counts=(1, 4, 16), iterations=8)
+
+    def test_baseline_declines_with_gpus(self, rows):
+        utils = [row.baseline.utilization_ratio for row in rows]
+        assert utils[0] > utils[-1]
+
+    def test_gmlake_flat_with_gpus(self, rows):
+        utils = [row.gmlake.utilization_ratio for row in rows]
+        assert min(utils) > 0.95
+
+    def test_throughput_scales_with_gpus(self, rows):
+        thru = [row.gmlake.throughput_samples_per_s for row in rows]
+        assert thru[-1] > 2 * thru[0]
+
+
+class TestFigure13BatchScaling:
+    """GMLake sustains strictly larger batches before OOM."""
+
+    def test_gmlake_survives_longer(self):
+        rows = batch_sweep(
+            "opt-1.3b", batch_sizes=(8, 16, 24, 32, 40), n_gpus=4,
+            iterations=5, capacity=8 * GB,
+        )
+        oom_base = first_oom_batch(rows, "baseline")
+        oom_gml = first_oom_batch(rows, "gmlake")
+        assert oom_base is not None
+        assert oom_gml is None or oom_gml >= oom_base
+
+
+class TestFigure14Convergence:
+    """§4.2.2 / §5.4: after a few iterations only exact matches occur
+    and reserved memory plateaus."""
+
+    def test_steady_state_is_all_exact_match(self):
+        workload = TrainingWorkload("opt-1.3b", batch_size=4, n_gpus=4,
+                                    strategies="LR", iterations=14)
+        trace = workload.build_trace()
+        device = GpuDevice()
+        allocator = GMLakeAllocator(device)
+
+        # Replay the first 12 iterations, snapshot, then watch the rest.
+        first = trace.subset_iterations(12)
+        run_trace(allocator, first)
+        hits_before = dict(allocator.counters.state_hits)
+        reserved_before = allocator.reserved_bytes
+        # Physical convergence happens within iteration 0-1: Alloc never
+        # fires again after the first pass over the trace shape.
+        assert hits_before[FitState.INSUFFICIENT_BLOCKS.value] < 200
+
+        # Remaining iterations: replay events after iteration 12's end.
+        from repro.workloads.request import Op, Trace
+        tail = Trace(meta=trace.meta,
+                     compute_us_per_iter=trace.compute_us_per_iter)
+        tail.events = trace.events[len(first.events):]
+        live = {}
+        for event in tail.events:
+            if event.op is Op.ALLOC:
+                live[event.tensor] = allocator.malloc(event.size)
+            elif event.op is Op.FREE and event.tensor in live:
+                allocator.free(live.pop(event.tensor))
+
+        hits_after = allocator.counters.state_hits
+        for state in (FitState.SINGLE_BLOCK, FitState.MULTIPLE_BLOCKS,
+                      FitState.INSUFFICIENT_BLOCKS):
+            assert hits_after[state.value] == hits_before[state.value], (
+                f"state {state.name} still occurring after convergence"
+            )
+        assert allocator.reserved_bytes == reserved_before
+
+    def test_memory_trace_gap_is_allocator_specific(self):
+        workload = TrainingWorkload("opt-1.3b", batch_size=8, n_gpus=4,
+                                    strategies="LR", iterations=8)
+        base = run_workload(workload, "caching", record_timeline=True)
+        gml = run_workload(workload, "gmlake", record_timeline=True)
+        # Average reserved-minus-active gap in steady state (2nd half).
+        def gap(result):
+            points = result.timeline[len(result.timeline) // 2:]
+            return sum(p.reserved_bytes - p.active_bytes for p in points) / len(points)
+        assert gap(gml) < gap(base)
+
+
+class TestSection22NativeAllocator:
+    """The caching allocator is ~10x faster end-to-end than native."""
+
+    def test_throughput_ratio_close_to_paper(self):
+        workload = TrainingWorkload("opt-1.3b", batch_size=8, n_gpus=4,
+                                    strategies="N", iterations=6)
+        caching = run_workload(workload, "caching")
+        native = run_workload(workload, "native")
+        ratio = (caching.throughput_samples_per_s
+                 / native.throughput_samples_per_s)
+        assert 6.0 < ratio < 14.0  # paper: 9.7x
+
+    def test_native_never_fragments(self):
+        workload = TrainingWorkload("opt-1.3b", batch_size=2, iterations=3)
+        native = run_workload(workload, "native")
+        assert native.utilization_ratio == pytest.approx(1.0)
+
+
+class TestSection25VmmOverhead:
+    """Figure 6: the unpooled VMM allocator is >100x slower per
+    allocation at 2 MB chunks."""
+
+    def test_per_allocation_overhead(self):
+        from repro.allocators import VmmNaiveAllocator
+        device = GpuDevice()
+        allocator = VmmNaiveAllocator(device, chunk_size=2 * MB)
+        t0 = device.clock.now_us
+        allocator.malloc(2 * GB)
+        vmm_time = device.clock.now_us - t0
+        assert vmm_time / device.latency.cuda_malloc(2 * GB) > 100

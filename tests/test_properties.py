@@ -1,0 +1,153 @@
+"""Property-based tests: allocator correctness under arbitrary request
+sequences (hypothesis drives alloc/free interleavings)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.allocators import CachingAllocator, VmmNaiveAllocator
+from repro.core import GMLakeAllocator, GMLakeConfig
+from repro.errors import OutOfMemoryError
+from repro.gpu.device import GpuDevice
+from repro.units import GB, KB, MB
+
+# Each step is (is_alloc, size_selector, free_index_selector).
+STEP = st.tuples(
+    st.booleans(),
+    st.integers(min_value=1, max_value=96 * MB),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def replay(allocator, steps):
+    """Apply a step sequence; returns a reference ledger of live bytes."""
+    live = []
+    live_bytes = 0
+    for is_alloc, size, free_index in steps:
+        if is_alloc or not live:
+            try:
+                alloc = allocator.malloc(size)
+            except OutOfMemoryError:
+                continue
+            live.append(alloc)
+            live_bytes += alloc.rounded_size
+        else:
+            alloc = live.pop(free_index % len(live))
+            allocator.free(alloc)
+            live_bytes -= alloc.rounded_size
+    return live, live_bytes
+
+
+class TestGMLakeProperties:
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=60))
+    def test_invariants_under_arbitrary_interleaving(self, steps):
+        allocator = GMLakeAllocator(GpuDevice(capacity=2 * GB))
+        live, live_bytes = replay(allocator, steps)
+        allocator.check_invariants()
+        assert allocator.active_bytes == live_bytes
+        assert allocator.reserved_bytes >= 0
+        # Reserved memory never exceeds device capacity.
+        assert allocator.device.used_memory <= allocator.device.capacity
+
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=50))
+    def test_free_all_returns_to_zero_active(self, steps):
+        allocator = GMLakeAllocator(GpuDevice(capacity=2 * GB))
+        live, _ = replay(allocator, steps)
+        for alloc in live:
+            allocator.free(alloc)
+        assert allocator.active_bytes == 0
+        allocator.check_invariants()
+        # Everything inactive: empty_cache must return all physical bytes.
+        allocator.empty_cache()
+        assert allocator.device.used_memory == 0
+
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=40))
+    def test_pointers_of_live_allocations_are_unique(self, steps):
+        allocator = GMLakeAllocator(GpuDevice(capacity=2 * GB))
+        live, _ = replay(allocator, steps)
+        ptrs = [alloc.ptr for alloc in live]
+        assert len(ptrs) == len(set(ptrs))
+
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=40))
+    def test_no_physical_chunk_shared_by_two_live_tensors(self, steps):
+        allocator = GMLakeAllocator(GpuDevice(capacity=2 * GB))
+        live, _ = replay(allocator, steps)
+        # Map every live large allocation to its backing chunk handles.
+        seen = {}
+        for alloc in live:
+            block = allocator._assigned.get(alloc.ptr)
+            if block is None:
+                continue  # small-pool allocation
+            members = [block] if hasattr(block, "handles") else block.members
+            for member in members:
+                for handle in member.handles:
+                    assert handle not in seen, (
+                        f"chunk {handle} backs tensors {seen[handle]} "
+                        f"and {alloc.alloc_id}"
+                    )
+                    seen[handle] = alloc.alloc_id
+
+
+class TestCachingProperties:
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=60))
+    def test_invariants_under_arbitrary_interleaving(self, steps):
+        allocator = CachingAllocator(GpuDevice(capacity=2 * GB))
+        live, live_bytes = replay(allocator, steps)
+        allocator.check_invariants()
+        assert allocator.active_bytes == live_bytes
+        assert allocator.reserved_bytes >= allocator.active_bytes
+
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=50))
+    def test_empty_cache_after_free_all(self, steps):
+        allocator = CachingAllocator(GpuDevice(capacity=2 * GB))
+        live, _ = replay(allocator, steps)
+        for alloc in live:
+            allocator.free(alloc)
+        allocator.empty_cache()
+        assert allocator.device.used_memory == 0
+        allocator.check_invariants()
+
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=40))
+    def test_live_pointers_unique(self, steps):
+        allocator = CachingAllocator(GpuDevice(capacity=2 * GB))
+        live, _ = replay(allocator, steps)
+        ptrs = [alloc.ptr for alloc in live]
+        assert len(ptrs) == len(set(ptrs))
+
+
+class TestCrossAllocatorEquivalence:
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=40))
+    def test_gmlake_reserved_at_most_caching_plus_rounding(self, steps):
+        """On identical OOM-free sequences GMLake never reserves more
+        than the caching allocator beyond chunk-rounding slack."""
+        caching = CachingAllocator(GpuDevice(capacity=4 * GB))
+        gmlake = GMLakeAllocator(GpuDevice(capacity=4 * GB))
+        live_c, _ = replay(caching, steps)
+        live_g, _ = replay(gmlake, steps)
+        if len(live_c) != len(live_g):
+            return  # an OOM diverged the sequences; not comparable
+        n_allocs = caching.stats().malloc_count
+        rounding_slack = (n_allocs + 1) * 2 * MB + 20 * MB
+        assert gmlake.peak_reserved_bytes <= (
+            caching.peak_reserved_bytes + rounding_slack
+        )
+
+    @COMMON_SETTINGS
+    @given(st.lists(STEP, max_size=30))
+    def test_vmm_naive_reserved_equals_active(self, steps):
+        allocator = VmmNaiveAllocator(GpuDevice(capacity=2 * GB))
+        replay(allocator, steps)
+        assert allocator.reserved_bytes == allocator.active_bytes

@@ -1,0 +1,132 @@
+"""Unit + property tests for repro.sortedlist."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sortedlist import SortedKeyList, sorted_pairs
+
+
+class Item:
+    """Mutable wrapper so identity-based removal is exercised."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return f"Item({self.value})"
+
+
+class TestBasics:
+    def test_empty(self):
+        sl = SortedKeyList(key=lambda x: x)
+        assert len(sl) == 0
+        assert sl.min() is None
+        assert sl.max() is None
+
+    def test_add_keeps_sorted(self):
+        sl = SortedKeyList(key=lambda x: x, items=[3, 1, 2])
+        assert sl.as_list() == [1, 2, 3]
+
+    def test_duplicates_allowed(self):
+        sl = SortedKeyList(key=lambda x: x, items=[2, 2, 2])
+        assert len(sl) == 3
+
+    def test_min_max(self):
+        sl = SortedKeyList(key=lambda x: x, items=[5, 1, 9])
+        assert sl.min() == 1
+        assert sl.max() == 9
+
+    def test_contains_by_identity(self):
+        a, b = Item(1), Item(1)
+        sl = SortedKeyList(key=lambda i: i.value, items=[a])
+        assert a in sl
+        assert b not in sl
+
+    def test_getitem(self):
+        sl = SortedKeyList(key=lambda x: x, items=[30, 10, 20])
+        assert sl[0] == 10
+        assert sl[2] == 30
+
+
+class TestRemove:
+    def test_remove_by_identity_among_equal_keys(self):
+        a, b = Item(1), Item(1)
+        sl = SortedKeyList(key=lambda i: i.value, items=[a, b])
+        sl.remove(a)
+        assert a not in sl
+        assert b in sl
+
+    def test_remove_missing_raises(self):
+        sl = SortedKeyList(key=lambda x: x, items=[1])
+        with pytest.raises(ValueError):
+            sl.remove(2)
+
+    def test_discard_returns_bool(self):
+        sl = SortedKeyList(key=lambda x: x, items=[1])
+        assert sl.discard(1) is True
+        assert sl.discard(1) is False
+
+    def test_pop_index(self):
+        sl = SortedKeyList(key=lambda x: x, items=[3, 1, 2])
+        assert sl.pop_index(0) == 1
+        assert sl.as_list() == [2, 3]
+
+    def test_clear(self):
+        sl = SortedKeyList(key=lambda x: x, items=[1, 2])
+        sl.clear()
+        assert len(sl) == 0
+
+
+class TestQueries:
+    def test_first_at_least_exact(self):
+        sl = SortedKeyList(key=lambda x: x, items=[10, 20, 30])
+        assert sl.first_at_least(20) == 20
+
+    def test_first_at_least_between(self):
+        sl = SortedKeyList(key=lambda x: x, items=[10, 20, 30])
+        assert sl.first_at_least(15) == 20
+
+    def test_first_at_least_above_all(self):
+        sl = SortedKeyList(key=lambda x: x, items=[10])
+        assert sl.first_at_least(11) is None
+
+    def test_index_at_least(self):
+        sl = SortedKeyList(key=lambda x: x, items=[10, 20, 30])
+        assert sl.index_at_least(20) == 1
+        assert sl.index_at_least(35) == 3
+
+    def test_items_descending(self):
+        sl = SortedKeyList(key=lambda x: x, items=[1, 3, 2])
+        assert list(sl.items_descending()) == [3, 2, 1]
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-100, 100)))
+    def test_always_sorted_after_adds(self, values):
+        sl = SortedKeyList(key=lambda x: x, items=values)
+        assert sl.as_list() == sorted(values)
+        assert sl.check_sorted()
+
+    @given(st.lists(st.integers(0, 20), min_size=1))
+    def test_add_remove_roundtrip(self, values):
+        sl = SortedKeyList(key=lambda i: i.value)
+        items = [Item(v) for v in values]
+        for item in items:
+            sl.add(item)
+        for item in items:
+            sl.remove(item)
+        assert len(sl) == 0
+
+    @given(st.lists(st.integers(0, 50)), st.integers(0, 50))
+    def test_first_at_least_is_best_fit(self, values, needle):
+        sl = SortedKeyList(key=lambda x: x, items=values)
+        result = sl.first_at_least(needle)
+        candidates = [v for v in values if v >= needle]
+        if candidates:
+            assert result == min(candidates)
+        else:
+            assert result is None
+
+
+def test_sorted_pairs():
+    assert sorted_pairs([(2, "b"), (1, "a")]) == ["a", "b"]

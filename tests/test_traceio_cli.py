@@ -1,0 +1,105 @@
+"""Tests for trace serialization and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.units import MB
+from repro.workloads import TrainingWorkload
+from repro.workloads.request import Op, Trace
+from repro.workloads.traceio import load_trace, save_trace
+
+
+class TestTraceIO:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = TrainingWorkload("gpt-2", batch_size=4, strategies="R",
+                                 iterations=2).build_trace()
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.meta == trace.meta
+        assert loaded.compute_us_per_iter == trace.compute_us_per_iter
+        assert [(e.op, e.tensor, e.size) for e in loaded.events] == [
+            (e.op, e.tensor, e.size) for e in trace.events
+        ]
+
+    def test_loaded_trace_validates(self, tmp_path):
+        trace = TrainingWorkload("gpt-2", batch_size=2,
+                                 iterations=1).build_trace()
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        load_trace(path).validate()
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"kind": "event", "op": "alloc",
+                                    "tensor": "x", "size": 1}) + "\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_free_events_have_no_size(self, tmp_path):
+        trace = Trace()
+        trace.alloc("a", 2 * MB)
+        trace.free("a")
+        path = tmp_path / "t.jsonl"
+        save_trace(trace, path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert "size" not in lines[2]
+        assert load_trace(path).events[1].op is Op.FREE
+
+
+class TestCli:
+    def test_models_lists_registry(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt-neox-20b" in out
+
+    def test_compare_runs(self, capsys):
+        code = main(["compare", "--model", "opt-1.3b", "--batch", "2",
+                     "--gpus", "1", "--strategies", "N",
+                     "--iterations", "2",
+                     "--allocators", "caching,gmlake"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gmlake" in out and "caching" in out
+
+    def test_sweep_strategies(self, capsys):
+        code = main(["sweep", "--axis", "strategies", "--model", "opt-1.3b",
+                     "--batch", "2", "--gpus", "1", "--values", "N,R",
+                     "--iterations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UR gmlake" in out
+
+    def test_trace_and_replay(self, tmp_path, capsys):
+        out_path = str(tmp_path / "t.jsonl")
+        assert main(["trace", "--model", "gpt-2", "--batch", "2",
+                     "--gpus", "1", "--iterations", "2",
+                     "--out", out_path]) == 0
+        assert main(["replay", "--in", out_path,
+                     "--allocator", "gmlake"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "gmlake" in out
+
+    def test_microbench(self, capsys):
+        assert main(["microbench"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "115" in out
+
+    def test_unknown_command_fails(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_capacity_parsing(self, capsys):
+        code = main(["compare", "--model", "opt-1.3b", "--batch", "2",
+                     "--gpus", "1", "--strategies", "N", "--iterations", "2",
+                     "--allocators", "gmlake", "--capacity", "24GB"])
+        assert code == 0
+        assert "OOM" in capsys.readouterr().out

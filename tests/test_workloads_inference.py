@@ -1,0 +1,129 @@
+"""Tests for the inference serving workload and ZeRO stages 1/2."""
+
+import pytest
+
+from repro.sim import run_workload
+from repro.sim.engine import make_allocator, run_trace
+from repro.gpu.device import GpuDevice
+from repro.units import GB
+from repro.workloads import TrainingWorkload, ZeroConfig, get_model
+from repro.workloads.inference import DECODE_TOKENS_PER_S, ServingWorkload, kv_bytes
+
+
+class TestKvBytes:
+    def test_formula(self):
+        model = get_model("opt-1.3b")
+        assert kv_bytes(model, 100) == 2 * 24 * 100 * 2048 * 2
+
+    def test_scales_with_seq(self):
+        model = get_model("opt-13b")
+        assert kv_bytes(model, 200) == 2 * kv_bytes(model, 100)
+
+
+class TestServingTrace:
+    def test_trace_validates(self):
+        trace = ServingWorkload("opt-1.3b", n_requests=50).build_trace()
+        trace.validate()
+
+    def test_all_requests_served_and_freed(self):
+        workload = ServingWorkload("opt-1.3b", n_requests=40, max_batch=8)
+        trace = workload.build_trace()
+        stats = trace.stats()
+        # weights + 40 KV blocks + one workspace per decode step.
+        kv_allocs = sum(
+            1 for e in trace.events
+            if e.tensor.startswith("kv") and e.op.value == "alloc"
+        )
+        assert kv_allocs == 40
+        # Only the weights stay live at the end.
+        assert stats.peak_live_bytes > workload.model.weight_bytes
+
+    def test_deterministic(self):
+        a = ServingWorkload("opt-1.3b", n_requests=30, seed=5).build_trace()
+        b = ServingWorkload("opt-1.3b", n_requests=30, seed=5).build_trace()
+        assert [(e.op, e.tensor, e.size) for e in a.events] == [
+            (e.op, e.tensor, e.size) for e in b.events
+        ]
+
+    def test_seed_changes_lengths(self):
+        a = ServingWorkload("opt-1.3b", n_requests=30, seed=1).build_trace()
+        b = ServingWorkload("opt-1.3b", n_requests=30, seed=2).build_trace()
+        assert a.stats().total_alloc_bytes != b.stats().total_alloc_bytes
+
+    def test_batch_cap_respected(self):
+        workload = ServingWorkload("opt-1.3b", n_requests=60, max_batch=4)
+        trace = workload.build_trace()
+        live_kv = 0
+        max_live = 0
+        for event in trace.events:
+            if event.tensor.startswith("kv"):
+                live_kv += 1 if event.op.value == "alloc" else -1
+                max_live = max(max_live, live_kv)
+        assert max_live <= 4
+
+    def test_compute_time_tracks_tokens(self):
+        trace = ServingWorkload("opt-1.3b", n_requests=20).build_trace()
+        steps = trace.meta["decode_steps"]
+        assert trace.compute_us_per_iter[0] > 0
+        assert steps > 0
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ServingWorkload("opt-1.3b", n_requests=0)
+        with pytest.raises(ValueError):
+            ServingWorkload("opt-1.3b", max_batch=0)
+
+    def test_gmlake_beats_caching_on_serving_churn(self):
+        """Never-repeating KV sizes are the worst case for size caching;
+        stitching still wins on reserved memory."""
+        workload = ServingWorkload("opt-6.7b", n_requests=120, max_batch=16,
+                                   seed=3)
+        trace = workload.build_trace()
+        base = run_trace(make_allocator("caching", GpuDevice()), trace)
+        gml = run_trace(make_allocator("gmlake", GpuDevice()), trace)
+        assert not base.oom and not gml.oom
+        assert gml.utilization_ratio >= base.utilization_ratio
+        assert gml.utilization_ratio > 0.9
+
+
+class TestZeroStages:
+    def test_stage_properties(self):
+        stage1 = ZeroConfig(n_gpus=4, stage=1)
+        stage2 = ZeroConfig(n_gpus=4, stage=2)
+        stage3 = ZeroConfig(n_gpus=4, stage=3)
+        assert stage1.shards_optimizer and not stage1.shards_grads
+        assert stage2.shards_grads and not stage2.shards_params
+        assert stage3.shards_params
+
+    def test_single_gpu_never_shards(self):
+        config = ZeroConfig(n_gpus=1, stage=3)
+        assert not config.shards_optimizer
+
+    def test_stage_memory_ordering(self):
+        """Higher ZeRO stages hold strictly less persistent memory."""
+        peaks = {}
+        for stage in (0, 1, 2, 3):
+            workload = TrainingWorkload("opt-1.3b", batch_size=2, n_gpus=4,
+                                        strategies="R", iterations=2,
+                                        zero_stage=stage)
+            peaks[stage] = workload.build_trace().stats().peak_live_bytes
+        assert peaks[1] < peaks[0]
+        assert peaks[2] < peaks[1]
+        assert peaks[3] < peaks[2]
+
+    def test_stage2_has_no_gathers(self):
+        workload = TrainingWorkload("opt-1.3b", batch_size=2, n_gpus=4,
+                                    iterations=1, zero_stage=2)
+        trace = workload.build_trace()
+        assert not any(".f.g" in e.tensor for e in trace.events)
+
+    def test_invalid_stage_rejected(self):
+        with pytest.raises(ValueError):
+            ZeroConfig(n_gpus=2, stage=5)
+
+    def test_stage_override_threading(self):
+        workload = TrainingWorkload("opt-1.3b", batch_size=2, n_gpus=4,
+                                    iterations=1, zero_stage=1)
+        assert workload.zero.stage == 1
+        result = run_workload(workload, "gmlake")
+        assert not result.oom

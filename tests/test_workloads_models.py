@@ -1,0 +1,69 @@
+"""Tests for model specs and the registry."""
+
+import pytest
+
+from repro.units import MB
+from repro.workloads import MODELS, get_model
+from repro.workloads.models import ModelSpec
+
+
+class TestRegistry:
+    def test_contains_all_table2_models(self):
+        for name in ("opt-1.3b", "gpt-2", "glm-10b", "opt-13b",
+                     "vicuna-13b", "gpt-neox-20b"):
+            assert name in MODELS
+
+    def test_has_eight_models_for_summary(self):
+        assert len(MODELS) == 8
+
+    def test_get_model_case_insensitive(self):
+        assert get_model("OPT-13B") is MODELS["opt-13b"]
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            get_model("bert-base")
+
+
+class TestParameterArithmetic:
+    """Parameter counts must land near the published model sizes."""
+
+    @pytest.mark.parametrize("name,billions,tolerance", [
+        ("opt-1.3b", 1.3, 0.25),
+        ("gpt-2", 1.5, 0.3),
+        ("opt-6.7b", 6.7, 0.8),
+        ("llama-7b", 6.7, 1.0),
+        ("glm-10b", 10.0, 1.5),
+        ("opt-13b", 13.0, 1.5),
+        ("vicuna-13b", 13.0, 1.5),
+        ("gpt-neox-20b", 20.0, 2.0),
+    ])
+    def test_param_count_close_to_published(self, name, billions, tolerance):
+        model = get_model(name)
+        assert model.n_params / 1e9 == pytest.approx(billions, abs=tolerance)
+
+    def test_params_split_layers_plus_embeddings(self):
+        model = get_model("opt-13b")
+        assert model.n_params == (
+            model.n_layers * model.params_per_layer + model.embedding_params
+        )
+
+    def test_weight_bytes_fp16(self):
+        model = get_model("opt-1.3b")
+        assert model.weight_bytes == model.n_params * 2
+
+    def test_activation_bytes(self):
+        model = get_model("opt-1.3b")
+        assert model.activation_bytes(8, 2048) == 8 * 2048 * 2048 * 2
+
+    def test_layer_weight_bytes_positive_and_plausible(self):
+        model = get_model("gpt-neox-20b")
+        # 12·h² params ≈ 453M -> ~906 MB in fp16
+        assert 800 * MB < model.layer_weight_bytes < 1000 * MB
+
+    def test_str_mentions_size(self):
+        assert "20." in str(get_model("gpt-neox-20b"))
+
+    def test_specs_are_frozen(self):
+        model = get_model("gpt-2")
+        with pytest.raises(Exception):
+            model.hidden = 1

@@ -1,0 +1,200 @@
+"""Tests for the fine-tuning trace builder."""
+
+import pytest
+
+from repro.units import GB, MB
+from repro.workloads import StrategySet, TrainingWorkload, estimate_compute_us, get_model
+from repro.workloads.request import Op
+from repro.workloads.training import OPTIMIZER_STATE_FACTOR, _trainable_bytes
+from repro.workloads.zero import ZeroConfig
+
+
+def build(model="opt-1.3b", **kwargs):
+    defaults = dict(batch_size=4, n_gpus=1, strategies="N", iterations=3)
+    defaults.update(kwargs)
+    return TrainingWorkload(model, **defaults)
+
+
+class TestConstruction:
+    def test_accepts_string_model_and_strategies(self):
+        workload = build(strategies="LR")
+        assert workload.model.name == "opt-1.3b"
+        assert workload.strategies.lora
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            build(batch_size=0)
+
+    def test_label_is_descriptive(self):
+        workload = build(strategies="RO", n_gpus=4)
+        assert "opt-1.3b" in workload.label
+        assert "RO" in workload.label
+        assert "4gpu" in workload.label
+
+    def test_zero_config_follows_gpus(self):
+        assert not build(n_gpus=1).zero.shards_params
+        assert build(n_gpus=4).zero.shards_params
+
+
+class TestTraceWellFormedness:
+    @pytest.mark.parametrize("strategies", ["N", "R", "LR", "RO", "LRO"])
+    @pytest.mark.parametrize("n_gpus", [1, 4])
+    def test_traces_validate(self, strategies, n_gpus):
+        trace = build(strategies=strategies, n_gpus=n_gpus).build_trace()
+        trace.validate()
+
+    def test_iteration_markers_match(self):
+        trace = build(iterations=5).build_trace()
+        stats = trace.stats()
+        assert stats.n_iterations == 5
+        assert len(trace.compute_us_per_iter) == 5
+
+    def test_determinism_same_seed(self):
+        a = build(strategies="LRO", seed=3).build_trace()
+        b = build(strategies="LRO", seed=3).build_trace()
+        assert [(e.op, e.tensor, e.size) for e in a.events] == [
+            (e.op, e.tensor, e.size) for e in b.events
+        ]
+
+    def test_seq_jitter_changes_sizes(self):
+        a = build(seq_jitter=(0.5, 1.0), seed=1).build_trace()
+        b = build(seq_jitter=(1.0, 1.0), seed=1).build_trace()
+        assert a.stats().total_alloc_bytes != b.stats().total_alloc_bytes
+
+    def test_meta_records_workload(self):
+        trace = build(strategies="LR", n_gpus=4).build_trace()
+        assert trace.meta["strategies"] == "LR"
+        assert trace.meta["global_batch"] == 16
+
+
+class TestFigure5Statistics:
+    """+LR must produce more and smaller allocations (Figure 5)."""
+
+    def test_lr_increases_allocation_count(self):
+        plain = build(model="gpt-neox-20b", batch_size=2).build_trace().stats()
+        lr = build(model="gpt-neox-20b", batch_size=2,
+                   strategies="LR").build_trace().stats()
+        assert lr.n_allocs > plain.n_allocs
+
+    def test_lr_decreases_mean_size(self):
+        plain = build(model="gpt-neox-20b", batch_size=2).build_trace().stats()
+        lr = build(model="gpt-neox-20b", batch_size=2,
+                   strategies="LR").build_trace().stats()
+        assert lr.mean_alloc_bytes < plain.mean_alloc_bytes
+
+    def test_recompute_reduces_peak_live(self):
+        plain = build(batch_size=16).build_trace().stats()
+        recompute = build(batch_size=16, strategies="R").build_trace().stats()
+        assert recompute.peak_live_bytes < plain.peak_live_bytes
+
+    def test_offload_reduces_persistent_memory(self):
+        plain = build().build_trace().stats()
+        offload = build(strategies="RO").build_trace().stats()
+        assert offload.peak_live_bytes < plain.peak_live_bytes
+
+    def test_lora_shrinks_optimizer_footprint(self):
+        plain = build().build_trace()
+        lora = build(strategies="LR").build_trace()
+        # Setup allocations (before first ITER_START) shrink under LoRA.
+        def setup_bytes(trace):
+            total = 0
+            for event in trace.events:
+                if event.op is Op.ITER_START:
+                    break
+                if event.op is Op.ALLOC:
+                    total += event.size
+            return total
+        assert setup_bytes(lora) < setup_bytes(plain) / 2
+
+
+class TestDistributedEffects:
+    def test_more_gpus_smaller_setup(self):
+        one = build(n_gpus=1).build_trace()
+        eight = build(n_gpus=8).build_trace()
+        assert eight.stats().peak_live_bytes < one.stats().peak_live_bytes
+
+    def test_sharded_runs_emit_gathers(self):
+        trace = build(n_gpus=4).build_trace()
+        gathers = [e for e in trace.events
+                   if e.op is Op.ALLOC and ".g" in e.tensor]
+        assert gathers
+
+    def test_single_gpu_has_no_gathers(self):
+        trace = build(n_gpus=1).build_trace()
+        gathers = [e for e in trace.events
+                   if e.op is Op.ALLOC and ".f.g" in e.tensor]
+        assert not gathers
+
+    def test_gather_window_bounded_by_prefetch(self):
+        workload = build(n_gpus=4, strategies="N")
+        trace = workload.build_trace()
+        live_gathers = 0
+        max_live = 0
+        for event in trace.events:
+            if ".f.g" in event.tensor:
+                if event.op is Op.ALLOC:
+                    live_gathers += 1
+                    max_live = max(max_live, live_gathers)
+                elif event.op is Op.FREE:
+                    live_gathers -= 1
+        # The prefetcher may briefly overlap one extra gather while it
+        # allocates the next window before freeing the previous layer.
+        assert max_live <= workload.zero.prefetch_depth + 1
+
+
+class TestComputeModel:
+    def test_more_tokens_more_time(self):
+        model = get_model("opt-1.3b")
+        strategies = StrategySet()
+        zero = ZeroConfig()
+        assert estimate_compute_us(model, 8, 2048, strategies, zero) > (
+            estimate_compute_us(model, 4, 2048, strategies, zero)
+        )
+
+    def test_recompute_costs_extra_forward(self):
+        model = get_model("opt-1.3b")
+        zero = ZeroConfig()
+        plain = estimate_compute_us(model, 8, 2048, StrategySet(), zero)
+        recompute = estimate_compute_us(
+            model, 8, 2048, StrategySet(recompute=True), zero
+        )
+        assert recompute == pytest.approx(plain * 8 / 6)
+
+    def test_sharding_adds_comm_time(self):
+        model = get_model("opt-13b")
+        strategies = StrategySet()
+        single = estimate_compute_us(model, 4, 2048, strategies, ZeroConfig(n_gpus=1))
+        multi = estimate_compute_us(
+            model, 4, 2048, strategies, ZeroConfig(n_gpus=4)
+        )
+        assert multi > single
+
+    def test_offload_adds_transfer_time(self):
+        model = get_model("opt-1.3b")
+        zero = ZeroConfig()
+        base = estimate_compute_us(model, 4, 2048, StrategySet(), zero)
+        offload = estimate_compute_us(
+            model, 4, 2048, StrategySet(offload=True), zero
+        )
+        assert offload > base
+
+    def test_lora_trainable_bytes_tiny(self):
+        model = get_model("opt-13b")
+        full = _trainable_bytes(model, StrategySet())
+        lora = _trainable_bytes(model, StrategySet(lora=True))
+        assert lora < full / 100
+
+    def test_optimizer_factor_is_adam_fp32(self):
+        assert OPTIMIZER_STATE_FACTOR == 6  # 12 bytes per 2-byte param
+
+
+class TestMemoryScale:
+    def test_opt13b_4gpu_fits_80gb(self):
+        trace = build(model="opt-13b", n_gpus=4, batch_size=4,
+                      strategies="LR").build_trace()
+        assert trace.stats().peak_live_bytes < 80 * GB
+
+    def test_neox_large_batch_exceeds_80gb(self):
+        trace = build(model="gpt-neox-20b", n_gpus=4, batch_size=72,
+                      strategies="LR").build_trace()
+        assert trace.stats().peak_live_bytes > 80 * GB
