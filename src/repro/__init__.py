@@ -19,6 +19,21 @@ Higher layers generate LLM fine-tuning allocation traces
 (:mod:`repro.workloads`), replay them against any allocator
 (:mod:`repro.sim`), and regenerate every table and figure of the paper
 (:mod:`repro.analysis` + the ``benchmarks/`` directory).
+
+Two evaluation modes exist, split by who controls time:
+
+* **Offline replay** (:mod:`repro.sim`) — a pre-built
+  :class:`~repro.workloads.request.Trace` fixes every admission time
+  and tensor lifetime before the allocator runs; exact for training
+  and for the paper's memory metrics, but blind to feedback.
+* **Online serving** (:mod:`repro.serve`) — a discrete-event simulator
+  where admission *reacts* to live allocator state: arrival processes
+  (:class:`~repro.serve.arrivals.PoissonArrivals`, MMPP, replay),
+  pluggable schedulers (:data:`~repro.serve.scheduler.SCHEDULER_FACTORIES`),
+  chunked KV-cache growth, OOM preemption + requeue, and SLO metrics
+  (TTFT / TPOT / tail latency / goodput).  Entry points:
+  :func:`repro.serve.run_serving`, :func:`repro.serve.run_serving_cluster`,
+  and ``python -m repro serve``.
 """
 
 from repro.allocators import (

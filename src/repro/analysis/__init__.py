@@ -7,6 +7,8 @@
   reusable functions returning comparison rows.
 - :mod:`repro.analysis.summary` — the §5 "76 workloads / 8 models"
   aggregate statistics.
+- :mod:`repro.analysis.serving` — serving-summary tables for the
+  online serving simulator (:mod:`repro.serve`).
 """
 
 from repro.analysis.experiments import (
@@ -20,10 +22,18 @@ from repro.analysis.memory_report import (
     fragmentation_headroom,
     report_for,
 )
+from repro.analysis.serving import (
+    format_serving_summary,
+    goodput_vs_rate_rows,
+    serving_summary_rows,
+)
 from repro.analysis.summary import SummaryStats, summarize
 from repro.analysis.tables import format_table
 
 __all__ = [
+    "format_serving_summary",
+    "goodput_vs_rate_rows",
+    "serving_summary_rows",
     "strategy_sweep",
     "scaleout_sweep",
     "platform_sweep",

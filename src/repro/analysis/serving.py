@@ -1,0 +1,63 @@
+"""Serving-summary tables for the online serving simulator.
+
+Renders :class:`~repro.serve.metrics.ServingReport` populations the
+same way the training benches render :class:`EngineResult` grids, so
+`python -m repro serve` output and ``bench_ext_online_serving``
+snippets look identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_table
+from repro.serve.metrics import ServingReport, SloConfig
+
+
+def serving_row(label: Any, report: ServingReport) -> Dict[str, Any]:
+    """One labelled table row for a serving report."""
+    row: Dict[str, Any] = {"run": label}
+    row.update(report.as_row())
+    return row
+
+
+def serving_summary_rows(
+    reports: Mapping[Any, ServingReport],
+) -> List[Dict[str, Any]]:
+    """Rows for a {label: report} mapping, in insertion order."""
+    return [serving_row(label, report) for label, report in reports.items()]
+
+
+def format_serving_summary(
+    reports: Mapping[Any, ServingReport],
+    title: Optional[str] = None,
+    slo: Optional[SloConfig] = None,
+) -> str:
+    """Render the serving-summary table.
+
+    ``slo`` is only used for the title annotation — the reports were
+    already computed against their SLO.
+    """
+    slo = slo if slo is not None else SloConfig()
+    if title is None:
+        title = "online serving summary"
+    title = (f"{title}  (SLO: TTFT <= {slo.ttft_s:g}s, "
+             f"TPOT <= {slo.tpot_s * 1e3:g}ms)")
+    return format_table(serving_summary_rows(reports), title=title)
+
+
+def goodput_vs_rate_rows(
+    cells: Sequence[Tuple[float, Mapping[str, ServingReport]]],
+) -> List[Dict[str, Any]]:
+    """Rows for a rising-arrival-rate sweep: one row per rate, one
+    goodput/SLO column pair per allocator — the §6-style capacity
+    picture (``cells`` is ``[(rate, {allocator: report}), ...]``)."""
+    rows = []
+    for rate, by_allocator in cells:
+        row: Dict[str, Any] = {"rate (req/s)": rate}
+        for name, report in by_allocator.items():
+            row[f"goodput {name}"] = round(report.goodput_req_s, 3)
+            row[f"SLO% {name}"] = round(report.slo_attainment * 100.0, 1)
+            row[f"preempt {name}"] = report.preemptions
+        rows.append(row)
+    return rows

@@ -2,12 +2,14 @@
 
 Commands
 --------
-compare      Run one workload under several allocators side by side.
-sweep        Sweep one axis (strategies / gpus / batch) of a workload.
-trace        Generate a workload's allocation trace to a JSONL file.
-replay       Replay a JSONL trace against an allocator.
-microbench   Print the Figure 6 / Table 1 VMM latency tables.
-models       List the model registry.
+compare          Run one workload under several allocators side by side.
+sweep            Sweep one axis (strategies / gpus / batch) of a workload.
+trace            Generate a workload's allocation trace to a JSONL file.
+replay           Replay a JSONL trace against an allocator.
+serve            Online serving simulation with live admission control.
+microbench       Print the Figure 6 / Table 1 VMM latency tables.
+models           List the model registry.
+list-allocators  List the allocator registry with descriptions.
 
 Examples
 --------
@@ -15,6 +17,8 @@ python -m repro compare --model opt-13b --batch 4 --gpus 4 --strategies LR
 python -m repro sweep --axis gpus --model opt-13b --values 1,2,4,8,16
 python -m repro trace --model gpt-2 --batch 8 --out /tmp/gpt2.jsonl
 python -m repro replay --in /tmp/gpt2.jsonl --allocator gmlake
+python -m repro serve --model opt-13b --arrival poisson --rate 2.0 \\
+    --allocator gmlake
 """
 
 from __future__ import annotations
@@ -29,7 +33,21 @@ from repro.analysis.experiments import (
     scaleout_sweep,
     strategy_sweep,
 )
+from repro.analysis.serving import format_serving_summary
+from repro.errors import AllocatorError
 from repro.gpu.device import GpuDevice
+from repro.serve import (
+    SCHEDULER_FACTORIES,
+    LengthSampler,
+    MMPPArrivals,
+    PoissonArrivals,
+    ReplayArrivals,
+    ServingConfig,
+    SloConfig,
+    load_arrival_log,
+    run_serving,
+    run_serving_cluster,
+)
 from repro.sim.engine import ALLOCATOR_FACTORIES, make_allocator, run_trace, run_workload
 from repro.units import GB, MB, parse_size
 from repro.workloads import MODELS, TrainingWorkload
@@ -143,6 +161,94 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        return _cmd_serve(args)
+    except (KeyError, ValueError) as exc:
+        # Config errors (unknown allocator/model, bad rates, ...) are
+        # user errors, not crashes.
+        message = exc.args[0] if exc.args else exc
+        print(f"serve: {message}", file=sys.stderr)
+        return 2
+    except AllocatorError as exc:
+        # E.g. the model's weights alone exceed --capacity.
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.arrival == "poisson":
+        arrivals = PoissonArrivals(rate_per_s=args.rate)
+    elif args.arrival == "mmpp":
+        burst = args.burst_rate if args.burst_rate else 4.0 * args.rate
+        arrivals = MMPPArrivals(rate_calm_per_s=args.rate,
+                                rate_burst_per_s=burst,
+                                mean_dwell_s=args.dwell)
+    elif args.arrival == "replay":
+        if not args.arrival_log:
+            print("--arrival replay requires --arrival-log", file=sys.stderr)
+            return 2
+        arrivals = ReplayArrivals(load_arrival_log(args.arrival_log))
+    else:  # argparse choices make this unreachable
+        print(f"unknown arrival process {args.arrival!r}", file=sys.stderr)
+        return 2
+
+    if args.gpus < 1:
+        raise ValueError(f"--gpus must be >= 1, got {args.gpus}")
+    n_requests = args.requests
+    if args.arrival == "replay":
+        n_requests = min(n_requests, len(arrivals.times))
+    lengths = LengthSampler(mean_prompt=args.mean_prompt,
+                            mean_output=args.mean_output)
+    config = ServingConfig(max_batch=args.max_batch,
+                           queue_timeout_s=args.timeout)
+    slo = SloConfig(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
+
+    names = [n.strip() for n in args.allocator.split(",") if n.strip()]
+    reports = {}
+    for name in names:
+        # Regenerate per allocator: the simulator mutates the requests.
+        stream = arrivals.generate(n_requests, lengths, seed=args.seed)
+        if args.gpus > 1:
+            result = run_serving_cluster(
+                stream, args.model, n_replicas=args.gpus, allocator=name,
+                capacity=args.capacity, scheduler=args.scheduler,
+                config=config)
+        else:
+            result = run_serving(
+                stream, args.model, allocator=name, capacity=args.capacity,
+                scheduler=args.scheduler, config=config)
+        reports[name] = result.report(slo)
+
+    shape = (args.arrival if args.arrival == "replay"
+             else f"{args.arrival} rate={args.rate:g}/s")
+    title = (f"serve {args.model}: {n_requests} req, {shape}, "
+             f"{args.gpus} GPU(s), scheduler={args.scheduler}")
+    print(format_serving_summary(reports, title=title, slo=slo))
+    return 0
+
+
+def cmd_list_allocators(args: argparse.Namespace) -> int:
+    del args
+    rows = []
+    canonical = {}
+    for name, factory in ALLOCATOR_FACTORIES.items():
+        canonical.setdefault(factory, []).append(name)
+    for factory, names in canonical.items():
+        primary, *aliases = sorted(
+            names, key=lambda n: list(ALLOCATOR_FACTORIES).index(n))
+        doc = (factory.__doc__ or "").strip().splitlines()
+        rows.append({
+            "name": primary,
+            "aliases": ",".join(aliases) or "-",
+            "class": factory.__name__,
+            "description": doc[0] if doc else "-",
+        })
+    rows.sort(key=lambda r: r["name"])
+    print(format_table(rows, title="allocator registry"))
+    return 0
+
+
 def cmd_microbench(args: argparse.Namespace) -> int:
     del args
     latency = GpuDevice().latency
@@ -215,11 +321,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--capacity", type=parse_size, default=80 * GB)
     p.set_defaults(func=cmd_replay)
 
+    p = sub.add_parser("serve", help="online serving simulation")
+    p.add_argument("--model", default="opt-13b",
+                   help="model registry name (see `models`)")
+    p.add_argument("--arrival", choices=("poisson", "mmpp", "replay"),
+                   default="poisson", help="arrival process")
+    p.add_argument("--rate", type=float, default=2.0,
+                   help="mean arrival rate, requests/s (calm rate for mmpp)")
+    p.add_argument("--burst-rate", type=float, default=0.0,
+                   help="mmpp burst rate, requests/s (default 4x --rate)")
+    p.add_argument("--dwell", type=float, default=10.0,
+                   help="mmpp mean state dwell time, seconds")
+    p.add_argument("--arrival-log", default="",
+                   help="timestamp file for --arrival replay")
+    p.add_argument("--requests", type=int, default=100,
+                   help="number of requests to serve")
+    p.add_argument("--allocator", default="gmlake",
+                   help=f"comma list of {sorted(ALLOCATOR_FACTORIES)}")
+    p.add_argument("--scheduler", default="memory-aware",
+                   choices=sorted(SCHEDULER_FACTORIES))
+    p.add_argument("--gpus", type=int, default=1,
+                   help="number of serving replicas")
+    p.add_argument("--capacity", type=parse_size, default=80 * GB,
+                   help="device memory per replica, e.g. 80GB")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="admission cap on running requests")
+    p.add_argument("--mean-prompt", type=int, default=512)
+    p.add_argument("--mean-output", type=int, default=256)
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="queueing timeout before rejection, seconds")
+    p.add_argument("--slo-ttft", type=float, default=2.0,
+                   help="TTFT SLO, seconds")
+    p.add_argument("--slo-tpot", type=float, default=0.05,
+                   help="time-per-output-token SLO, seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("microbench", help="VMM latency tables")
     p.set_defaults(func=cmd_microbench)
 
     p = sub.add_parser("models", help="list the model registry")
     p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser("list-allocators",
+                       help="list the allocator registry")
+    p.set_defaults(func=cmd_list_allocators)
     return parser
 
 

@@ -1,0 +1,89 @@
+"""Online inference serving with the allocator in the scheduling loop.
+
+The rest of the package replays *pre-built* allocation traces — a
+request's admission time and KV-cache lifetime are fixed before the
+allocator runs.  This subpackage closes the loop the paper's §6
+serving argument describes: fragmentation feeds back into admission
+capacity and latency.  A discrete-event simulator admits requests
+online, grows KV caches chunk by chunk, preempts and requeues on OOM
+instead of failing the trace, and reports serving SLO metrics (TTFT,
+TPOT, tail latency, goodput) next to the allocator metrics.
+
+Layout
+------
+- :mod:`repro.serve.request`   — the request lifecycle model.
+- :mod:`repro.serve.arrivals`  — Poisson / MMPP / replayed arrival
+  processes with heavy-tailed prompt/output lengths.
+- :mod:`repro.serve.scheduler` — FCFS / shortest-prompt / memory-aware
+  admission policies (the last queries ``allocator.stats()``).
+- :mod:`repro.serve.simulator` — the single-replica event loop.
+- :mod:`repro.serve.metrics`   — SLO metrics and the serving report.
+- :mod:`repro.serve.cluster`   — the multi-replica front-end.
+
+Quick start
+-----------
+>>> from repro.serve import PoissonArrivals, run_serving
+>>> stream = PoissonArrivals(rate_per_s=2.0).generate(50, seed=0)
+>>> result = run_serving(stream, "opt-1.3b", allocator="gmlake")
+>>> result.report().completed
+50
+"""
+
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    LengthSampler,
+    MMPPArrivals,
+    PoissonArrivals,
+    ReplayArrivals,
+    load_arrival_log,
+)
+from repro.serve.cluster import (
+    ServeClusterResult,
+    dispatch_requests,
+    run_serving_cluster,
+)
+from repro.serve.metrics import ServingReport, SloConfig, percentile
+from repro.serve.request import RequestState, ServeRequest
+from repro.serve.scheduler import (
+    SCHEDULER_FACTORIES,
+    FcfsScheduler,
+    MemoryAwareScheduler,
+    Scheduler,
+    SchedulerView,
+    ShortestPromptScheduler,
+    make_scheduler,
+)
+from repro.serve.simulator import (
+    ServingConfig,
+    ServingResult,
+    ServingSimulator,
+    run_serving,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "LengthSampler",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "ReplayArrivals",
+    "load_arrival_log",
+    "RequestState",
+    "ServeRequest",
+    "Scheduler",
+    "SchedulerView",
+    "FcfsScheduler",
+    "ShortestPromptScheduler",
+    "MemoryAwareScheduler",
+    "SCHEDULER_FACTORIES",
+    "make_scheduler",
+    "ServingConfig",
+    "ServingSimulator",
+    "ServingResult",
+    "run_serving",
+    "SloConfig",
+    "ServingReport",
+    "percentile",
+    "ServeClusterResult",
+    "dispatch_requests",
+    "run_serving_cluster",
+]

@@ -1,0 +1,191 @@
+"""Request arrival processes for the online serving simulator.
+
+Three processes cover the traffic shapes serving papers evaluate:
+
+* :class:`PoissonArrivals` — memoryless open-loop traffic at a fixed
+  mean rate, the standard load-sweep axis.
+* :class:`MMPPArrivals` — a two-state Markov-modulated Poisson process
+  (calm/burst), the classic model for bursty production traffic.
+* :class:`ReplayArrivals` — timestamps replayed from a recorded log,
+  for trace-driven evaluation.
+
+Every process emits :class:`~repro.serve.request.ServeRequest` objects
+with prompt/output lengths drawn from the same heavy-tailed log-normal
+mixture as the offline :class:`~repro.workloads.inference.ServingWorkload`,
+so offline-replay and online-serving experiments stress the allocator
+with the same size distribution.  Generation is a pure function of the
+seed: the same (process, sampler, seed) always yields the same stream.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.serve.request import ServeRequest
+from repro.units import align_up
+
+
+def _heavy_tail_tokens(rng: random.Random, mean: int, sigma: float,
+                       lo: int, hi: int) -> int:
+    """One log-normal token count, 16-aligned and clamped to [lo, hi]."""
+    value = int(rng.lognormvariate(0.0, sigma) * mean)
+    return max(lo, min(hi, align_up(value, 16)))
+
+
+@dataclass(frozen=True)
+class LengthSampler:
+    """Heavy-tailed prompt/output length distribution.
+
+    ``sigma`` is the log-normal shape parameter; 0.6 matches the
+    offline serving workload generator.
+    """
+
+    mean_prompt: int = 512
+    mean_output: int = 256
+    sigma: float = 0.6
+    min_tokens: int = 16
+    max_tokens: int = 2048
+
+    def sample(self, rng: random.Random) -> "tuple[int, int]":
+        """Draw one (prompt_tokens, output_tokens) pair."""
+        prompt = _heavy_tail_tokens(rng, self.mean_prompt, self.sigma,
+                                    self.min_tokens, self.max_tokens)
+        output = _heavy_tail_tokens(rng, self.mean_output, self.sigma,
+                                    self.min_tokens, self.max_tokens)
+        return prompt, output
+
+
+class ArrivalProcess(ABC):
+    """Base class: a distribution over arrival-time sequences."""
+
+    kind: str = "arrivals"
+
+    @abstractmethod
+    def arrival_times(self, n_requests: int, rng: random.Random) -> List[float]:
+        """Return ``n_requests`` non-decreasing arrival times (seconds)."""
+
+    def generate(
+        self,
+        n_requests: int,
+        lengths: LengthSampler = LengthSampler(),
+        seed: int = 0,
+    ) -> List[ServeRequest]:
+        """Materialize a request stream: times plus sampled lengths."""
+        if n_requests < 1:
+            raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+        rng = random.Random(seed * 9176 + 11)
+        times = self.arrival_times(n_requests, rng)
+        requests = []
+        for i, t in enumerate(sorted(times)):
+            prompt, output = lengths.sample(rng)
+            requests.append(ServeRequest(
+                req_id=i, arrival_s=float(t),
+                prompt_tokens=prompt, output_tokens=output,
+            ))
+        return requests
+
+
+@dataclass
+class PoissonArrivals(ArrivalProcess):
+    """Open-loop Poisson traffic at ``rate_per_s`` mean requests/second."""
+
+    rate_per_s: float = 1.0
+    kind: str = field(default="poisson", init=False)
+
+    def __post_init__(self):
+        if self.rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {self.rate_per_s}")
+
+    def arrival_times(self, n_requests: int, rng: random.Random) -> List[float]:
+        now = 0.0
+        times = []
+        for _ in range(n_requests):
+            now += rng.expovariate(self.rate_per_s)
+            times.append(now)
+        return times
+
+
+@dataclass
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (calm ↔ burst).
+
+    The process dwells in each state for an exponentially distributed
+    time (mean ``mean_dwell_s``) and emits Poisson arrivals at that
+    state's rate — bursts several times the calm rate are the shape
+    that collapses admission capacity in production traces.
+    """
+
+    rate_calm_per_s: float = 1.0
+    rate_burst_per_s: float = 4.0
+    mean_dwell_s: float = 10.0
+    kind: str = field(default="mmpp", init=False)
+
+    def __post_init__(self):
+        if self.rate_calm_per_s <= 0 or self.rate_burst_per_s <= 0:
+            raise ValueError("MMPP rates must be positive")
+        if self.mean_dwell_s <= 0:
+            raise ValueError("mean_dwell_s must be positive")
+
+    def arrival_times(self, n_requests: int, rng: random.Random) -> List[float]:
+        now = 0.0
+        burst = False
+        state_ends = rng.expovariate(1.0 / self.mean_dwell_s)
+        times: List[float] = []
+        while len(times) < n_requests:
+            rate = self.rate_burst_per_s if burst else self.rate_calm_per_s
+            gap = rng.expovariate(rate)
+            if now + gap >= state_ends:
+                # Switch state at the boundary; the pending gap restarts
+                # (memorylessness of the exponential makes this exact).
+                now = state_ends
+                burst = not burst
+                state_ends = now + rng.expovariate(1.0 / self.mean_dwell_s)
+                continue
+            now += gap
+            times.append(now)
+        return times
+
+
+@dataclass
+class ReplayArrivals(ArrivalProcess):
+    """Arrival times replayed from a recorded log."""
+
+    times: Sequence[float] = ()
+    kind: str = field(default="replay", init=False)
+
+    def __post_init__(self):
+        self.times = sorted(float(t) for t in self.times)
+        if any(t < 0 for t in self.times):
+            raise ValueError("replayed arrival times must be non-negative")
+
+    def arrival_times(self, n_requests: int, rng: random.Random) -> List[float]:
+        del rng
+        if n_requests > len(self.times):
+            raise ValueError(
+                f"replay log has {len(self.times)} arrivals, "
+                f"{n_requests} requested"
+            )
+        return list(self.times[:n_requests])
+
+
+def load_arrival_log(path: Union[str, Path]) -> List[float]:
+    """Read an arrival log: one arrival timestamp (seconds) per line.
+
+    Blank lines and ``#`` comments are skipped.
+    """
+    times = []
+    for line_no, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            times.append(float(line))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{line_no}: not a timestamp: {line!r}") from exc
+    if not times:
+        raise ValueError(f"{path}: empty arrival log")
+    return times

@@ -1,0 +1,123 @@
+"""Multi-GPU serving front-end: one arrival stream over N replicas.
+
+A load balancer dispatches every incoming request to one of N identical
+single-GPU replicas at arrival time (no request migration), using a
+least-outstanding-work estimator: each replica's backlog of assigned
+tokens, drained at the replica's saturated decode rate between
+arrivals.  Each replica then runs its own
+:class:`~repro.serve.simulator.ServingSimulator` on its own simulated
+device, and the results are aggregated the way
+:mod:`repro.sim.cluster` aggregates training ranks: the fleet's
+makespan is the slowest replica's, memory headlines are worst-replica,
+and SLO metrics are computed over the merged request population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+from repro.serve.metrics import ServingReport, SloConfig
+from repro.serve.request import ServeRequest
+from repro.serve.scheduler import Scheduler
+from repro.serve.simulator import ServingConfig, ServingResult, ServingSimulator
+from repro.sim.engine import AllocatorFactory
+from repro.units import A100_80GB
+from repro.workloads.models import ModelSpec, get_model
+
+
+def dispatch_requests(
+    requests: Iterable[ServeRequest],
+    n_replicas: int,
+    drain_tokens_per_s: float = 3000.0,
+) -> List[List[ServeRequest]]:
+    """Split one arrival stream into per-replica streams.
+
+    Least-outstanding-work: assign each arrival to the replica with the
+    smallest estimated token backlog, where backlogs drain at
+    ``drain_tokens_per_s`` between arrivals.  This is what a front-end
+    can actually compute online — it never peeks at simulation results.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    backlog = [0.0] * n_replicas
+    last_t = 0.0
+    shards: List[List[ServeRequest]] = [[] for _ in range(n_replicas)]
+    for request in sorted(requests, key=lambda r: (r.arrival_s, r.req_id)):
+        elapsed = max(0.0, request.arrival_s - last_t)
+        last_t = request.arrival_s
+        drained = elapsed * drain_tokens_per_s
+        backlog = [max(0.0, b - drained) for b in backlog]
+        target = min(range(n_replicas), key=lambda i: (backlog[i], i))
+        backlog[target] += float(request.total_tokens)
+        shards[target].append(request)
+    return shards
+
+
+@dataclass
+class ServeClusterResult:
+    """Aggregated outcome of one multi-replica serving run."""
+
+    replicas: List[ServingResult] = field(default_factory=list)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def requests(self) -> List[ServeRequest]:
+        """The merged request population, in arrival order."""
+        merged = [r for replica in self.replicas for r in replica.requests]
+        return sorted(merged, key=lambda r: (r.arrival_s, r.req_id))
+
+    @property
+    def makespan_s(self) -> float:
+        """The fleet finishes when its slowest replica does."""
+        return max((r.makespan_s for r in self.replicas), default=0.0)
+
+    @property
+    def min_utilization(self) -> float:
+        """The worst replica's memory utilization ratio."""
+        return min(r.utilization for r in self.replicas)
+
+    @property
+    def max_peak_reserved_gb(self) -> float:
+        """The worst replica's reserved peak (capacity planning view)."""
+        return max(r.peak_reserved_gb for r in self.replicas)
+
+    def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
+        """Fleet-wide SLO report over the merged request population."""
+        return ServingReport.from_requests(
+            self.requests, self.makespan_s, slo,
+            utilization=self.min_utilization,
+            peak_reserved_gb=self.max_peak_reserved_gb,
+        )
+
+    def summary(self) -> str:
+        """One-line fleet report."""
+        report = self.report()
+        return f"{self.n_replicas} replicas: {report.summary()}"
+
+
+def run_serving_cluster(
+    requests: Iterable[ServeRequest],
+    model: Union[ModelSpec, str],
+    n_replicas: int = 2,
+    allocator: Union[str, AllocatorFactory] = "gmlake",
+    capacity: int = A100_80GB,
+    scheduler: Union[str, Scheduler] = "fcfs",
+    config: Optional[ServingConfig] = None,
+) -> ServeClusterResult:
+    """Load-balance ``requests`` over ``n_replicas`` single-GPU replicas."""
+    model = get_model(model) if isinstance(model, str) else model
+    config = config if config is not None else ServingConfig()
+    shards = dispatch_requests(requests, n_replicas,
+                               drain_tokens_per_s=config.decode_tokens_per_s)
+    result = ServeClusterResult()
+    for replica_id, shard in enumerate(shards):
+        simulator = ServingSimulator(
+            model, allocator=allocator, capacity=capacity,
+            scheduler=scheduler, config=config, replica_id=replica_id,
+        )
+        result.replicas.append(simulator.run(shard))
+    return result

@@ -1,0 +1,154 @@
+"""Serving-level SLO metrics: TTFT, TPOT, tail latency, goodput.
+
+The offline replay engine measures what the *allocator* did (peaks,
+utilization, OOM); this module measures what the *users* saw.  Both
+matter: the paper's serving argument is that allocator fragmentation
+turns into queueing delay, SLO violations and lost goodput, and these
+metrics make that visible.
+
+Definitions
+-----------
+TTFT      arrival → first token (queueing + prefill).
+TPOT      mean seconds per output token after the first (decode pace).
+latency   arrival → last token.
+goodput   completed requests *meeting the SLO* per second of makespan —
+          the headline serving metric; throughput counts everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.serve.request import ServeRequest
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] (0.0 if empty)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """The service-level objective a completed request must meet."""
+
+    ttft_s: float = 2.0
+    tpot_s: float = 0.05
+
+    def met_by(self, request: ServeRequest) -> bool:
+        """True if the request finished within both SLO components."""
+        if not request.finished:
+            return False
+        ttft = request.ttft_s
+        tpot = request.tpot_s
+        return (ttft is not None and ttft <= self.ttft_s
+                and (tpot is None or tpot <= self.tpot_s))
+
+
+@dataclass
+class ServingReport:
+    """Aggregate serving metrics over one request population."""
+
+    n_requests: int
+    completed: int
+    rejected: int
+    timed_out: int
+    preemptions: int
+    makespan_s: float
+    mean_ttft_s: float
+    p50_ttft_s: float
+    p99_ttft_s: float
+    mean_tpot_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    p99_latency_s: float
+    throughput_req_s: float
+    goodput_req_s: float
+    slo_attainment: float
+    tokens_per_s: float
+    utilization: float = 0.0
+    peak_reserved_gb: float = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_requests(
+        cls,
+        requests: Iterable[ServeRequest],
+        makespan_s: float,
+        slo: Optional[SloConfig] = None,
+        utilization: float = 0.0,
+        peak_reserved_gb: float = 0.0,
+    ) -> "ServingReport":
+        """Aggregate a request population into one report."""
+        slo = slo if slo is not None else SloConfig()
+        population: List[ServeRequest] = list(requests)
+        done = [r for r in population if r.finished]
+        ttfts = [r.ttft_s for r in done if r.ttft_s is not None]
+        tpots = [r.tpot_s for r in done if r.tpot_s is not None]
+        latencies = [r.latency_s for r in done if r.latency_s is not None]
+        slo_met = sum(1 for r in done if slo.met_by(r))
+        span = max(makespan_s, 1e-9)
+        tokens_out = sum(r.tokens_done for r in done)
+        return cls(
+            n_requests=len(population),
+            completed=len(done),
+            rejected=sum(1 for r in population if r.rejected),
+            timed_out=sum(1 for r in population
+                          if r.rejected and r.reject_reason == "timeout"),
+            preemptions=sum(r.preemptions for r in population),
+            makespan_s=makespan_s,
+            mean_ttft_s=sum(ttfts) / len(ttfts) if ttfts else 0.0,
+            p50_ttft_s=percentile(ttfts, 50),
+            p99_ttft_s=percentile(ttfts, 99),
+            mean_tpot_s=sum(tpots) / len(tpots) if tpots else 0.0,
+            p50_latency_s=percentile(latencies, 50),
+            p95_latency_s=percentile(latencies, 95),
+            p99_latency_s=percentile(latencies, 99),
+            throughput_req_s=len(done) / span,
+            goodput_req_s=slo_met / span,
+            slo_attainment=slo_met / len(population) if population else 0.0,
+            tokens_per_s=tokens_out / span,
+            utilization=utilization,
+            peak_reserved_gb=peak_reserved_gb,
+        )
+
+    # ------------------------------------------------------------------
+    def as_row(self) -> dict:
+        """Table row for ``repro.analysis`` rendering."""
+        return {
+            "req": self.n_requests,
+            "done": self.completed,
+            "rej": self.rejected,
+            "preempt": self.preemptions,
+            "TTFT p50 (ms)": round(self.p50_ttft_s * 1e3, 1),
+            "TPOT (ms)": round(self.mean_tpot_s * 1e3, 2),
+            "lat p50 (s)": round(self.p50_latency_s, 3),
+            "lat p95 (s)": round(self.p95_latency_s, 3),
+            "lat p99 (s)": round(self.p99_latency_s, 3),
+            "goodput (req/s)": round(self.goodput_req_s, 3),
+            "SLO %": round(self.slo_attainment * 100.0, 1),
+            "util": round(self.utilization, 3),
+            "RM (GB)": round(self.peak_reserved_gb, 2),
+        }
+
+    def summary(self) -> str:
+        """One-line report, mirroring ``EngineResult.summary``."""
+        return (
+            f"{self.completed}/{self.n_requests} done "
+            f"({self.rejected} rejected, {self.preemptions} preemptions) "
+            f"TTFT p50={self.p50_ttft_s * 1e3:.1f}ms "
+            f"p99 lat={self.p99_latency_s:.2f}s "
+            f"goodput={self.goodput_req_s:.2f} req/s "
+            f"util={self.utilization:.1%}"
+        )

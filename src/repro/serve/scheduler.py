@@ -1,0 +1,150 @@
+"""Admission scheduling policies with the allocator in the loop.
+
+The simulator asks its scheduler which queued request to admit next —
+and the scheduler may inspect *live allocator state* before answering.
+This is the feedback path the offline trace replay cannot express: a
+memory-aware policy holds a request back when the pool has no headroom,
+so fragmentation (allocator-dependent!) directly changes admission
+timing, queueing delay and therefore every latency metric.
+
+Policies
+--------
+``fcfs``            strict arrival order.
+``shortest-prompt`` admit the queued request with the smallest current
+                    context first (SJF on prefill work).
+``memory-aware``    arrival order, but skip requests whose projected
+                    full-context KV footprint exceeds the allocator's
+                    current headroom (with a safety margin).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Union
+
+from repro.allocators.base import BaseAllocator
+from repro.serve.request import ServeRequest
+from repro.units import align_up
+from repro.workloads.inference import kv_bytes
+from repro.workloads.models import ModelSpec
+
+
+@dataclass
+class SchedulerView:
+    """What an admission policy may observe about the serving state."""
+
+    allocator: BaseAllocator
+    model: ModelSpec
+    running: int
+    max_batch: int
+    capacity: int
+    kv_chunk_tokens: int
+
+    def projected_kv_bytes(self, request: ServeRequest) -> int:
+        """Chunk-rounded KV bytes for the request's *full* context."""
+        tokens = align_up(max(request.total_tokens, 1), self.kv_chunk_tokens)
+        return kv_bytes(self.model, tokens)
+
+    def headroom_bytes(self, pool_reuse: float = 0.5) -> int:
+        """Bytes the allocator can plausibly hand out right now.
+
+        Unreserved device memory counts in full; reserved-but-inactive
+        pool memory counts at ``pool_reuse`` because whether a shredded
+        pool can actually serve a *large* KV block depends on the
+        allocator — a splitting allocator may have fragmented it beyond
+        use, while a stitching one can fuse it back.  This is the
+        feedback path that makes admission allocator-dependent: a
+        fragmented pool (high reserved, same active) shrinks the
+        headroom a memory-aware policy sees.
+        """
+        stats = self.allocator.stats()
+        unreserved = self.capacity - stats.reserved_bytes
+        reusable = stats.reserved_bytes - stats.active_bytes
+        return int(unreserved + pool_reuse * reusable)
+
+
+class Scheduler(ABC):
+    """Base admission policy."""
+
+    name: str = "scheduler"
+
+    @abstractmethod
+    def select(
+        self, queue: Sequence[ServeRequest], view: SchedulerView
+    ) -> Optional[ServeRequest]:
+        """Pick the queued request to admit next, or ``None`` to wait.
+
+        The simulator only calls this while the batch has a free slot;
+        the policy never needs to re-check ``view.running``.
+        """
+
+
+class FcfsScheduler(Scheduler):
+    """First-come-first-served: strict arrival order."""
+
+    name = "fcfs"
+
+    def select(self, queue, view):
+        del view
+        return queue[0] if queue else None
+
+
+class ShortestPromptScheduler(Scheduler):
+    """Admit the smallest prefill first (SJF on the current context).
+
+    Cuts mean TTFT under load at the cost of tail latency for long
+    prompts; ``req_id`` breaks ties deterministically.
+    """
+
+    name = "shortest-prompt"
+
+    def select(self, queue, view):
+        del view
+        if not queue:
+            return None
+        return min(queue, key=lambda r: (r.context_tokens, r.req_id))
+
+
+class MemoryAwareScheduler(Scheduler):
+    """FCFS, but only admit what the allocator can actually hold.
+
+    Skips any request whose projected full-context KV (times a safety
+    ``margin``) exceeds the current headroom reported by
+    ``allocator.stats()`` — trading a little head-of-line blocking for
+    far fewer mid-flight OOM preemptions.
+    """
+
+    name = "memory-aware"
+
+    def __init__(self, margin: float = 1.25):
+        if margin < 1.0:
+            raise ValueError(f"margin must be >= 1.0, got {margin}")
+        self.margin = margin
+
+    def select(self, queue, view):
+        headroom = view.headroom_bytes()
+        for request in queue:
+            if view.projected_kv_bytes(request) * self.margin <= headroom:
+                return request
+        return None
+
+
+#: Named scheduler factories, mirroring ``ALLOCATOR_FACTORIES``.
+SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
+    "fcfs": FcfsScheduler,
+    "shortest-prompt": ShortestPromptScheduler,
+    "sjf": ShortestPromptScheduler,  # alias
+    "memory-aware": MemoryAwareScheduler,
+}
+
+
+def make_scheduler(kind: Union[str, Scheduler]) -> Scheduler:
+    """Instantiate a scheduler by name (or pass one through)."""
+    if isinstance(kind, Scheduler):
+        return kind
+    key = kind.lower()
+    if key not in SCHEDULER_FACTORIES:
+        known = ", ".join(sorted(SCHEDULER_FACTORIES))
+        raise KeyError(f"unknown scheduler {kind!r}; known: {known}")
+    return SCHEDULER_FACTORIES[key]()

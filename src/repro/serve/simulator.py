@@ -1,0 +1,417 @@
+"""The discrete-event online serving simulator (one GPU replica).
+
+Where the offline engine replays a *fixed* allocation trace, this loop
+decides admissions online, with the allocator in the loop:
+
+* requests arrive on their own clock (arrival process) and wait in a
+  queue; waiting past ``queue_timeout_s`` rejects them (timeout SLO);
+* the scheduler picks what to admit, possibly consulting live
+  ``allocator.stats()`` headroom;
+* admission allocates the request's KV cache *incrementally*: capacity
+  for the prompt plus one chunk of decode room, then chunked re-allocs
+  as decode outgrows it (new block allocated before the old is freed,
+  as a real KV copy requires — transiently doubling that request's
+  footprint, the worst case for a fragmented pool);
+* an OOM during KV growth **preempts** the youngest other running
+  request (its KV is freed, the request requeued with its generated
+  tokens kept — vLLM-style recompute preemption) instead of crashing
+  the job like the offline replay does;
+* every lifecycle timestamp is recorded so :mod:`repro.serve.metrics`
+  can report TTFT / TPOT / tail latency / goodput.
+
+Time is the device's simulated clock: driver costs charged by the
+allocator, prefill and per-step decode compute all advance it, so
+allocation latency shows up in TTFT exactly as it would in production.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+from repro.allocators.stats import AllocatorStats
+from repro.gpu.device import GpuDevice
+from repro.serve.request import RequestState, ServeRequest
+from repro.serve.metrics import ServingReport, SloConfig
+from repro.serve.scheduler import Scheduler, SchedulerView, make_scheduler
+from repro.sim.engine import AllocatorFactory, ReplaySession, make_allocator
+from repro.sim.timeline import TimelinePoint
+from repro.units import A100_80GB, GB, align_up
+from repro.workloads.inference import (
+    DECODE_TOKENS_PER_S,
+    decode_workspace_bytes,
+    kv_bytes,
+)
+from repro.workloads.models import ModelSpec, get_model
+
+#: Slack for floating-point arrival-time comparisons, seconds.
+_EPS = 1e-9
+
+
+@dataclass
+class ServingConfig:
+    """Tunables of one serving replica.
+
+    Attributes
+    ----------
+    max_batch:
+        Cap on concurrently running (decoding) requests.
+    kv_chunk_tokens:
+        KV-cache growth granularity in tokens; admission allocates
+        enough chunks for the prompt + first token, decode re-allocs
+        one more chunk at a time.
+    queue_timeout_s:
+        A request waiting longer than this is rejected (timeout SLO).
+    max_preemptions:
+        A request preempted more than this many times is rejected
+        rather than thrashing forever.
+    prefill_tokens_per_s / decode_tokens_per_s / step_overhead_us:
+        The compute model: prefill is linear in context, one decode
+        step costs ``overhead + batch / decode_rate`` so per-GPU token
+        throughput saturates at ``decode_tokens_per_s``.
+    record_timeline:
+        Sample the memory timeline once per decode step.
+    """
+
+    max_batch: int = 16
+    kv_chunk_tokens: int = 256
+    queue_timeout_s: float = 60.0
+    max_preemptions: int = 8
+    prefill_tokens_per_s: float = 25_000.0
+    decode_tokens_per_s: float = DECODE_TOKENS_PER_S
+    step_overhead_us: float = 150.0
+    record_timeline: bool = False
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.kv_chunk_tokens < 1:
+            raise ValueError("kv_chunk_tokens must be >= 1")
+        if not (self.queue_timeout_s > 0 and math.isfinite(self.queue_timeout_s)):
+            raise ValueError("queue_timeout_s must be positive and finite")
+        if self.max_preemptions < 0:
+            raise ValueError("max_preemptions must be >= 0")
+        if min(self.prefill_tokens_per_s, self.decode_tokens_per_s) <= 0:
+            raise ValueError("token rates must be positive")
+
+
+@dataclass
+class ServingResult:
+    """Everything one replica measured: per-request lifecycles plus the
+    allocator-side statistics the offline engine also reports."""
+
+    allocator_name: str
+    scheduler_name: str
+    model_name: str
+    capacity: int
+    requests: List[ServeRequest]
+    makespan_s: float
+    stats: AllocatorStats
+    timeline: List[TimelinePoint] = field(default_factory=list)
+    replica_id: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.requests if r.finished)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.requests if r.rejected)
+
+    @property
+    def preemptions(self) -> int:
+        return sum(r.preemptions for r in self.requests)
+
+    @property
+    def utilization(self) -> float:
+        return self.stats.utilization_ratio
+
+    @property
+    def peak_reserved_gb(self) -> float:
+        return self.stats.peak_reserved_bytes / GB
+
+    def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
+        """Aggregate SLO metrics for this replica's request population."""
+        return ServingReport.from_requests(
+            self.requests, self.makespan_s, slo,
+            utilization=self.utilization,
+            peak_reserved_gb=self.peak_reserved_gb,
+        )
+
+
+class ServingSimulator:
+    """One GPU replica serving an online request stream."""
+
+    def __init__(
+        self,
+        model: Union[ModelSpec, str],
+        allocator: Union[str, AllocatorFactory] = "gmlake",
+        capacity: int = A100_80GB,
+        scheduler: Union[str, Scheduler] = "fcfs",
+        config: Optional[ServingConfig] = None,
+        replica_id: int = 0,
+    ):
+        self.model = get_model(model) if isinstance(model, str) else model
+        self.config = config if config is not None else ServingConfig()
+        self.capacity = capacity
+        self.replica_id = replica_id
+        self.device = GpuDevice(capacity=capacity)
+        self.allocator = make_allocator(allocator, self.device)
+        self.scheduler = make_scheduler(scheduler)
+        self.session = ReplaySession(self.allocator)
+        self._step_count = 0
+
+    # ------------------------------------------------------------------
+    # Time and sizing helpers
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        """Simulated seconds since the run started."""
+        return self.session.elapsed_s
+
+    def _kv_tokens(self, tokens: int) -> int:
+        """Chunk-rounded KV capacity covering ``tokens``."""
+        return align_up(max(tokens, 1), self.config.kv_chunk_tokens)
+
+    def _kv_size(self, tokens: int) -> int:
+        return kv_bytes(self.model, self._kv_tokens(tokens))
+
+    # ------------------------------------------------------------------
+    # Lifecycle transitions
+    # ------------------------------------------------------------------
+    def _alloc_kv(self, request: ServeRequest, capacity_tokens: int) -> bool:
+        """Allocate a fresh KV block; retry once after ``empty_cache``."""
+        name = f"kv{request.req_id}.{request.kv_generation + 1}"
+        size = kv_bytes(self.model, capacity_tokens)
+        ok = self.session.try_alloc(name, size)
+        if not ok:
+            self.allocator.empty_cache()
+            ok = self.session.try_alloc(name, size)
+        if not ok:
+            return False
+        if request.kv_name is not None:
+            # Chunked re-alloc: the copy finished, drop the old block.
+            self.session.free(request.kv_name)
+        request.kv_generation += 1
+        request.kv_name = name
+        request.kv_capacity_tokens = capacity_tokens
+        return True
+
+    def _release_kv(self, request: ServeRequest) -> None:
+        if request.kv_name is not None:
+            self.session.free(request.kv_name)
+            request.kv_name = None
+            request.kv_capacity_tokens = 0
+
+    def _finish(self, request: ServeRequest,
+                running: List[ServeRequest]) -> None:
+        self._release_kv(request)
+        running.remove(request)
+        request.state = RequestState.FINISHED
+        request.finished_s = self._now()
+
+    def _reject(self, request: ServeRequest, reason: str) -> None:
+        self._release_kv(request)
+        request.state = RequestState.REJECTED
+        request.rejected_s = self._now()
+        request.reject_reason = reason
+
+    def _preempt(self, request: ServeRequest, running: List[ServeRequest],
+                 queue: List[ServeRequest]) -> None:
+        """Evict a running request: free its KV, requeue (or reject)."""
+        self._release_kv(request)
+        if request in running:
+            running.remove(request)
+        request.preemptions += 1
+        if request.preemptions > self.config.max_preemptions:
+            self._reject(request, "preempted-out")
+            return
+        request.state = RequestState.PREEMPTED
+        queue.insert(0, request)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _try_admit(self, request: ServeRequest,
+                   running: List[ServeRequest]) -> bool:
+        """Admit: allocate prompt KV, run prefill, emit the first token."""
+        context = request.context_tokens
+        if not self._alloc_kv(request, self._kv_tokens(context + 1)):
+            return False
+        if request.admitted_s is None:
+            request.admitted_s = self._now()
+        # Prefill recomputes the full context (prompt, plus any tokens
+        # generated before a preemption — recompute-style restore).
+        self.session.advance(
+            context / self.config.prefill_tokens_per_s * 1e6)
+        request.state = RequestState.RUNNING
+        running.append(request)
+        if request.tokens_done == 0:
+            request.tokens_done = 1
+            request.first_token_s = self._now()
+            if request.tokens_done >= request.output_tokens:
+                self._finish(request, running)
+        return True
+
+    def _run_admissions(self, queue: List[ServeRequest],
+                        running: List[ServeRequest]) -> None:
+        flushed = False
+        while queue and len(running) < self.config.max_batch:
+            view = SchedulerView(
+                allocator=self.allocator, model=self.model,
+                running=len(running), max_batch=self.config.max_batch,
+                capacity=self.capacity,
+                kv_chunk_tokens=self.config.kv_chunk_tokens,
+            )
+            request = self.scheduler.select(queue, view)
+            if request is None:
+                if flushed or running:
+                    # Under load a decline means "wait for a
+                    # retirement"; flushing the pool here would destroy
+                    # the allocator's converged state on every step.
+                    break
+                # Idle server, waiting requests, yet the policy sees no
+                # headroom: only stale pool reservations can be in the
+                # way.  Release cached memory and ask once more (what
+                # PyTorch does under pressure) so a conservative policy
+                # cannot starve an idle machine.
+                self.allocator.empty_cache()
+                flushed = True
+                continue
+            queue.remove(request)
+            if self._try_admit(request, running):
+                continue
+            if not running:
+                # Nothing left to retire or preempt: even an empty
+                # server cannot hold this request's prompt KV.
+                self._reject(request, "too-large")
+                continue
+            # Memory is full; hold the request at the head of the queue
+            # until a retirement (or timeout) changes the picture.
+            request.state = RequestState.QUEUED
+            queue.insert(0, request)
+            break
+
+    def _expire_timeouts(self, queue: List[ServeRequest]) -> None:
+        now = self._now()
+        for request in [r for r in queue
+                        if now - r.arrival_s > self.config.queue_timeout_s]:
+            queue.remove(request)
+            self._reject(request, "timeout")
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def _grow_kv(self, request: ServeRequest, running: List[ServeRequest],
+                 queue: List[ServeRequest]) -> bool:
+        """Grow the KV block by one chunk; preempt on OOM.
+
+        Returns ``False`` when ``request`` itself had to be preempted
+        (no other victim could free enough memory).
+        """
+        new_capacity = request.kv_capacity_tokens + self.config.kv_chunk_tokens
+        while True:
+            if self._alloc_kv(request, new_capacity):
+                return True
+            victims = [r for r in running if r is not request]
+            if not victims:
+                self._preempt(request, running, queue)
+                return False
+            # Evict the youngest other request (vLLM-style: latest
+            # admitted loses its slot first) and retry the growth.
+            self._preempt(victims[-1], running, queue)
+
+    def _decode_step(self, queue: List[ServeRequest],
+                     running: List[ServeRequest]) -> None:
+        batch = len(running)
+        step_us = (self.config.step_overhead_us
+                   + batch * 1e6 / self.config.decode_tokens_per_s)
+        self.session.advance(step_us)
+        # Transient per-step activation workspace, like the offline
+        # serving generator's ``ws`` tensors: small, short-lived churn
+        # alongside the big KV blocks.  Best-effort — under pressure
+        # the step runs from reserved slack rather than preempting.
+        self._step_count += 1
+        workspace = f"ws{self._step_count}"
+        if self.session.try_alloc(
+                workspace, decode_workspace_bytes(self.model, batch)):
+            self.session.free(workspace)
+        for request in list(running):
+            if request.state is not RequestState.RUNNING:
+                continue  # preempted by an earlier request's growth
+            request.tokens_done += 1
+            if request.tokens_done >= request.output_tokens:
+                self._finish(request, running)
+                continue
+            if request.context_tokens + 1 > request.kv_capacity_tokens:
+                self._grow_kv(request, running, queue)
+        if self.config.record_timeline:
+            self.session.sample()
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Iterable[ServeRequest]) -> ServingResult:
+        """Serve ``requests`` to completion (or rejection).
+
+        The loop always makes progress: every iteration either admits,
+        decodes one step, rejects, or jumps the clock to the next
+        arrival/timeout event — so it terminates for any finite stream.
+        """
+        pending = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        for request in pending:
+            request.replica = self.replica_id
+        self.session.alloc("weights", self.model.weight_bytes)
+        queue: List[ServeRequest] = []
+        running: List[ServeRequest] = []
+        index = 0
+
+        while index < len(pending) or queue or running:
+            now = self._now()
+            while (index < len(pending)
+                   and pending[index].arrival_s <= now + _EPS):
+                queue.append(pending[index])
+                index += 1
+            self._expire_timeouts(queue)
+            self._run_admissions(queue, running)
+            if running:
+                self._decode_step(queue, running)
+                continue
+            # Idle (or admission-blocked with an empty batch): jump to
+            # whatever happens next — an arrival or a queue timeout.
+            horizons = []
+            if index < len(pending):
+                horizons.append(pending[index].arrival_s)
+            horizons.extend(r.arrival_s + self.config.queue_timeout_s
+                            for r in queue)
+            if not horizons:
+                break
+            target = max(min(horizons), now)
+            # The extra microsecond pushes strictly past the boundary so
+            # the event fires on the next pass (no busy-spinning).
+            self.session.advance((target - now) * 1e6 + 1.0)
+
+        return ServingResult(
+            allocator_name=self.allocator.name,
+            scheduler_name=self.scheduler.name,
+            model_name=self.model.name,
+            capacity=self.capacity,
+            requests=pending,
+            makespan_s=self._now(),
+            stats=self.allocator.stats(),
+            timeline=list(self.session.timeline),
+            replica_id=self.replica_id,
+        )
+
+
+def run_serving(
+    requests: Iterable[ServeRequest],
+    model: Union[ModelSpec, str],
+    allocator: Union[str, AllocatorFactory] = "gmlake",
+    capacity: int = A100_80GB,
+    scheduler: Union[str, Scheduler] = "fcfs",
+    config: Optional[ServingConfig] = None,
+) -> ServingResult:
+    """Convenience wrapper: build one replica and serve ``requests``."""
+    simulator = ServingSimulator(model, allocator=allocator,
+                                 capacity=capacity, scheduler=scheduler,
+                                 config=config)
+    return simulator.run(requests)

@@ -8,12 +8,19 @@
 """
 
 from repro.sim.cluster import ClusterResult, run_cluster
-from repro.sim.engine import EngineResult, make_allocator, run_trace, run_workload
+from repro.sim.engine import (
+    EngineResult,
+    ReplaySession,
+    make_allocator,
+    run_trace,
+    run_workload,
+)
 from repro.sim.metrics import ComparisonRow, compare_results, mem_reduction_ratio
 from repro.sim.timeline import TimelinePoint, render_timeline
 
 __all__ = [
     "EngineResult",
+    "ReplaySession",
     "run_trace",
     "run_workload",
     "make_allocator",

@@ -6,6 +6,13 @@ allocator's driver/host costs and the workload's per-iteration compute
 time, and records everything the paper's figures need: peak
 active/reserved memory, utilization, OOM events, per-iteration wall
 times and a memory timeline.
+
+:class:`ReplaySession` is the stepping layer underneath ``run_trace``:
+it owns the live-tensor table, OOM-tolerant allocation, and timeline
+sampling, but leaves the *event loop* to the caller.  Offline replay
+(``run_trace``) walks a pre-built trace; the online serving simulator
+(:mod:`repro.serve`) drives the same session one decision at a time,
+so scheduler policy can react to live allocator state.
 """
 
 from __future__ import annotations
@@ -111,6 +118,92 @@ class EngineResult:
         )
 
 
+class ReplaySession:
+    """A stepping interface over one allocator for event-driven loops.
+
+    The session tracks live tensors by name, converts allocator OOMs
+    into a boolean outcome (:meth:`try_alloc`) for callers that recover
+    instead of crashing, and samples the memory timeline on demand.
+    ``run_trace`` drives it from a pre-built trace; the online serving
+    simulator (:mod:`repro.serve`) drives it one admission / KV-growth
+    / retirement decision at a time.
+    """
+
+    def __init__(self, allocator: BaseAllocator):
+        self.allocator = allocator
+        self.clock = allocator.device.clock
+        self.start_s = self.clock.now_s
+        self.live: Dict[str, Allocation] = {}
+        self.timeline: List[TimelinePoint] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds of simulated time since the session started."""
+        return self.clock.now_s - self.start_s
+
+    @property
+    def live_bytes(self) -> int:
+        """Sum of the rounded sizes of live tensors in this session."""
+        return sum(a.rounded_size for a in self.live.values())
+
+    def holds(self, tensor: str) -> bool:
+        """True if ``tensor`` is currently live in this session."""
+        return tensor in self.live
+
+    # ------------------------------------------------------------------
+    def alloc(self, tensor: str, size: int) -> Allocation:
+        """Allocate ``size`` bytes for ``tensor``; OOM propagates."""
+        if tensor in self.live:
+            raise ValueError(f"tensor {tensor!r} allocated twice")
+        allocation = self.allocator.malloc(size)
+        self.live[tensor] = allocation
+        return allocation
+
+    def try_alloc(self, tensor: str, size: int) -> bool:
+        """Allocate for ``tensor``; return ``False`` on OOM.
+
+        The failed driver/host time still elapses on the clock — a real
+        allocator burns time before discovering it cannot satisfy a
+        request, and online schedulers should pay for that.
+        """
+        try:
+            self.alloc(tensor, size)
+            return True
+        except OutOfMemoryError:
+            return False
+
+    def free(self, tensor: str) -> None:
+        """Free the live tensor named ``tensor``."""
+        allocation = self.live.pop(tensor, None)
+        if allocation is None:
+            raise ValueError(f"trace frees unknown tensor {tensor!r}")
+        self.allocator.free(allocation)
+
+    def advance(self, duration_us: float) -> None:
+        """Advance the simulated clock (compute time between events)."""
+        self.clock.advance(duration_us)
+
+    def sample(self) -> None:
+        """Append one memory timeline point at the current time."""
+        self.timeline.append(TimelinePoint(
+            time_s=self.elapsed_s,
+            active_bytes=self.allocator.active_bytes,
+            reserved_bytes=self.allocator.reserved_bytes,
+        ))
+
+    def finish(self, result: EngineResult) -> None:
+        """Fill allocator-side statistics into ``result``."""
+        stats = self.allocator.stats()
+        result.peak_active_bytes = stats.peak_active_bytes
+        result.peak_reserved_bytes = stats.peak_reserved_bytes
+        result.driver_time_us = stats.driver_time_us
+        result.host_time_us = stats.host_time_us
+        result.malloc_count = stats.malloc_count
+        result.total_time_s = self.elapsed_s
+        result.timeline = self.timeline
+
+
 def run_trace(
     allocator: BaseAllocator,
     trace: Trace,
@@ -123,42 +216,26 @@ def run_trace(
     and is recorded in the result rather than raised — batch-size sweeps
     (Fig. 13) and the memory trace (Fig. 14) rely on observing it.
     """
-    device = allocator.device
-    clock = device.clock
+    session = ReplaySession(allocator)
+    clock = session.clock
     result = EngineResult(
         allocator_name=allocator.name,
         meta=dict(trace.meta),
     )
-    live: Dict[str, Allocation] = {}
-    start_s = clock.now_s
-    iter_start_s = start_s
+    iter_start_s = session.start_s
     current_iter = 0
     event_index = 0
-
-    def sample() -> None:
-        result.timeline.append(TimelinePoint(
-            time_s=clock.now_s - start_s,
-            active_bytes=allocator.active_bytes,
-            reserved_bytes=allocator.reserved_bytes,
-        ))
 
     for event in trace.events:
         event_index += 1
         if event.op is Op.ALLOC:
-            try:
-                live[event.tensor] = allocator.malloc(event.size)
-            except OutOfMemoryError:
+            if not session.try_alloc(event.tensor, event.size):
                 result.oom = True
                 result.oom_iteration = current_iter
-                result.oom_time_s = clock.now_s - start_s
+                result.oom_time_s = session.elapsed_s
                 break
         elif event.op is Op.FREE:
-            allocation = live.pop(event.tensor, None)
-            if allocation is None:
-                raise ValueError(
-                    f"trace frees unknown tensor {event.tensor!r}"
-                )
-            allocator.free(allocation)
+            session.free(event.tensor)
         elif event.op is Op.ITER_START:
             current_iter = int(event.tensor)
             iter_start_s = clock.now_s
@@ -169,17 +246,11 @@ def run_trace(
             result.iterations_completed += 1
             result.iter_times_s.append(clock.now_s - iter_start_s)
         if record_timeline and event_index % timeline_every == 0:
-            sample()
+            session.sample()
 
     if record_timeline:
-        sample()
-    stats = allocator.stats()
-    result.peak_active_bytes = stats.peak_active_bytes
-    result.peak_reserved_bytes = stats.peak_reserved_bytes
-    result.driver_time_us = stats.driver_time_us
-    result.host_time_us = stats.host_time_us
-    result.malloc_count = stats.malloc_count
-    result.total_time_s = clock.now_s - start_s
+        session.sample()
+    session.finish(result)
     global_batch = int(trace.meta.get("global_batch", 0) or 0)
     if result.iterations_completed > 0 and global_batch:
         # Steady-state throughput: skip warm-up iterations (GMLake's

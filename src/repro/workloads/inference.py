@@ -42,6 +42,14 @@ def kv_bytes(model: ModelSpec, seq: int) -> int:
     return 2 * model.n_layers * seq * model.hidden * model.dtype_bytes
 
 
+def decode_workspace_bytes(model: ModelSpec, batch: int) -> int:
+    """Transient activation workspace of one decode step for ``batch``
+    running requests (a few live layer activations; never zero so the
+    allocation is always valid).  Shared by the offline serving trace
+    generator and the online simulator so their churn matches."""
+    return model.activation_bytes(batch, 1) * 4 or 1
+
+
 @dataclass
 class ServingWorkload:
     """A continuous-batching inference server trace.
@@ -120,10 +128,7 @@ class ServingWorkload:
                 admitted += 1
             # One decode step for the whole batch.
             workspace = f"ws{step}"
-            trace.alloc(
-                workspace,
-                model.activation_bytes(len(running), 1) * 4 or 1,
-            )
+            trace.alloc(workspace, decode_workspace_bytes(model, len(running)))
             trace.free(workspace)
             total_tokens += len(running)
             # Retire finished requests (out of admission order).

@@ -1,0 +1,133 @@
+"""Tests for the serving arrival processes and length sampling."""
+
+import random
+
+import pytest
+
+from repro.serve import (
+    LengthSampler,
+    MMPPArrivals,
+    PoissonArrivals,
+    ReplayArrivals,
+    load_arrival_log,
+)
+from repro.serve.request import RequestState
+
+
+class TestLengthSampler:
+    def test_bounds_and_alignment(self):
+        sampler = LengthSampler(mean_prompt=512, mean_output=256,
+                                max_tokens=2048)
+        rng = random.Random(0)
+        for _ in range(500):
+            prompt, output = sampler.sample(rng)
+            for value in (prompt, output):
+                assert 16 <= value <= 2048
+                assert value % 16 == 0
+
+    def test_heavy_tail(self):
+        """A log-normal mixture must produce both short and long ends."""
+        sampler = LengthSampler(mean_prompt=512)
+        rng = random.Random(1)
+        prompts = [sampler.sample(rng)[0] for _ in range(500)]
+        assert min(prompts) < 256
+        assert max(prompts) > 1024
+
+
+class TestPoissonArrivals:
+    def test_deterministic(self):
+        a = PoissonArrivals(2.0).generate(50, seed=7)
+        b = PoissonArrivals(2.0).generate(50, seed=7)
+        assert [(r.arrival_s, r.prompt_tokens, r.output_tokens) for r in a] \
+            == [(r.arrival_s, r.prompt_tokens, r.output_tokens) for r in b]
+
+    def test_seed_changes_stream(self):
+        a = PoissonArrivals(2.0).generate(50, seed=1)
+        b = PoissonArrivals(2.0).generate(50, seed=2)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+    def test_mean_rate(self):
+        requests = PoissonArrivals(4.0).generate(2000, seed=3)
+        span = requests[-1].arrival_s
+        assert 2000 / span == pytest.approx(4.0, rel=0.15)
+
+    def test_sorted_ids_and_state(self):
+        requests = PoissonArrivals(1.0).generate(20, seed=0)
+        times = [r.arrival_s for r in requests]
+        assert times == sorted(times)
+        assert [r.req_id for r in requests] == list(range(20))
+        assert all(r.state is RequestState.QUEUED for r in requests)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(1.0).generate(0)
+
+
+class TestMMPPArrivals:
+    def test_deterministic_and_sorted(self):
+        process = MMPPArrivals(rate_calm_per_s=1.0, rate_burst_per_s=8.0,
+                               mean_dwell_s=5.0)
+        a = process.generate(100, seed=4)
+        b = process.generate(100, seed=4)
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+        times = [r.arrival_s for r in a]
+        assert times == sorted(times) and len(times) == 100
+
+    def test_burstier_than_poisson(self):
+        """MMPP inter-arrival CoV must exceed the Poisson CoV of 1."""
+
+        def cov(requests):
+            times = [r.arrival_s for r in requests]
+            gaps = [b - a for a, b in zip(times, times[1:])]
+            mean = sum(gaps) / len(gaps)
+            var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+            return var ** 0.5 / mean
+
+        mmpp = MMPPArrivals(rate_calm_per_s=1.0, rate_burst_per_s=16.0,
+                            mean_dwell_s=10.0).generate(3000, seed=5)
+        poisson = PoissonArrivals(2.0).generate(3000, seed=5)
+        assert cov(mmpp) > cov(poisson) * 1.2
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            MMPPArrivals(rate_calm_per_s=0.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(mean_dwell_s=0.0)
+
+
+class TestReplayArrivals:
+    def test_replays_exact_times(self):
+        process = ReplayArrivals([3.0, 1.0, 2.0])
+        requests = process.generate(3, seed=0)
+        assert [r.arrival_s for r in requests] == [1.0, 2.0, 3.0]
+
+    def test_too_many_requested(self):
+        with pytest.raises(ValueError):
+            ReplayArrivals([1.0]).generate(2)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayArrivals([-1.0, 2.0])
+
+
+class TestArrivalLog:
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "log.txt"
+        path.write_text("# header\n0.5\n\n1.25  # inline\n2.0\n")
+        assert load_arrival_log(path) == [0.5, 1.25, 2.0]
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0.5\nnot-a-number\n")
+        with pytest.raises(ValueError):
+            load_arrival_log(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            load_arrival_log(path)

@@ -1,0 +1,124 @@
+"""Tests for admission scheduling policies and the allocator loop."""
+
+import pytest
+
+from repro.gpu.device import GpuDevice
+from repro.serve import (
+    SCHEDULER_FACTORIES,
+    FcfsScheduler,
+    MemoryAwareScheduler,
+    SchedulerView,
+    ShortestPromptScheduler,
+    make_scheduler,
+)
+from repro.serve.request import ServeRequest
+from repro.sim.engine import make_allocator
+from repro.units import GB
+from repro.workloads import get_model
+from repro.workloads.inference import kv_bytes
+
+
+def request(req_id, prompt=256, output=128, arrival=0.0):
+    return ServeRequest(req_id=req_id, arrival_s=arrival,
+                        prompt_tokens=prompt, output_tokens=output)
+
+
+def view_on(capacity=4 * GB, model="opt-1.3b"):
+    device = GpuDevice(capacity=capacity)
+    allocator = make_allocator("caching", device)
+    return SchedulerView(
+        allocator=allocator, model=get_model(model), running=0,
+        max_batch=16, capacity=capacity, kv_chunk_tokens=256,
+    ), allocator
+
+
+class TestFactories:
+    def test_known_names(self):
+        for name in SCHEDULER_FACTORIES:
+            assert make_scheduler(name).name in (
+                "fcfs", "shortest-prompt", "memory-aware")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_scheduler("priority-lottery")
+
+    def test_passthrough(self):
+        scheduler = FcfsScheduler()
+        assert make_scheduler(scheduler) is scheduler
+
+
+class TestFcfs:
+    def test_takes_queue_head(self):
+        view, _ = view_on()
+        queue = [request(3), request(1), request(2)]
+        assert FcfsScheduler().select(queue, view) is queue[0]
+
+    def test_empty_queue(self):
+        view, _ = view_on()
+        assert FcfsScheduler().select([], view) is None
+
+
+class TestShortestPrompt:
+    def test_prefers_smallest_context(self):
+        view, _ = view_on()
+        queue = [request(0, prompt=1024), request(1, prompt=64),
+                 request(2, prompt=512)]
+        assert ShortestPromptScheduler().select(queue, view).req_id == 1
+
+    def test_counts_generated_tokens(self):
+        """A preempted request's context includes its decoded tokens."""
+        view, _ = view_on()
+        fresh = request(0, prompt=256)
+        resumed = request(1, prompt=128)
+        resumed.tokens_done = 512
+        assert ShortestPromptScheduler().select(
+            [fresh, resumed], view) is fresh
+
+    def test_tie_break_by_id(self):
+        view, _ = view_on()
+        queue = [request(5, prompt=256), request(2, prompt=256)]
+        assert ShortestPromptScheduler().select(queue, view).req_id == 2
+
+
+class TestMemoryAware:
+    def test_admits_when_empty(self):
+        view, _ = view_on()
+        assert MemoryAwareScheduler().select([request(0)], view) is not None
+
+    def test_declines_when_active_fills_device(self):
+        view, allocator = view_on(capacity=4 * GB)
+        allocator.malloc(int(3.8 * GB))  # nearly everything is active
+        big = request(0, prompt=1024, output=1024)
+        assert MemoryAwareScheduler().select([big], view) is None
+
+    def test_skips_to_fitting_request(self):
+        view, allocator = view_on(capacity=4 * GB)
+        allocator.malloc(int(3.2 * GB))
+        big = request(0, prompt=2048, output=2048)     # ~850 MB projected
+        small = request(1, prompt=64, output=32)       # one 50 MB chunk
+        assert MemoryAwareScheduler().select([big, small], view) is small
+
+    def test_fragmented_pool_shrinks_headroom(self):
+        """Reserved-but-inactive memory only half-counts: a shredded
+        pool admits less than a clean one at the same active bytes."""
+        clean, _ = view_on(capacity=4 * GB)
+        shredded, allocator = view_on(capacity=4 * GB)
+        hoard = allocator.malloc(3 * GB)
+        allocator.free(hoard)  # reserved stays ~3 GB, active 0
+        assert shredded.headroom_bytes() < clean.headroom_bytes()
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            MemoryAwareScheduler(margin=0.5)
+
+
+class TestSchedulerView:
+    def test_projected_kv_is_chunk_rounded(self):
+        view, _ = view_on()
+        model = get_model("opt-1.3b")
+        tiny = request(0, prompt=17, output=1)
+        assert view.projected_kv_bytes(tiny) == kv_bytes(model, 256)
+        exact = request(1, prompt=200, output=56)
+        assert view.projected_kv_bytes(exact) == kv_bytes(model, 256)
+        over = request(2, prompt=200, output=57)
+        assert view.projected_kv_bytes(over) == kv_bytes(model, 512)

@@ -7,6 +7,7 @@ import pytest
 from repro.cli import main
 from repro.units import MB
 from repro.workloads import TrainingWorkload
+from repro.workloads.inference import ServingWorkload
 from repro.workloads.request import Op, Trace
 from repro.workloads.traceio import load_trace, save_trace
 
@@ -54,6 +55,41 @@ class TestTraceIO:
         assert "size" not in lines[2]
         assert load_trace(path).events[1].op is Op.FREE
 
+    def test_serving_roundtrip_preserves_event_order(self, tmp_path):
+        """ALLOC/FREE interleaving (the serving churn pattern) must
+        survive save/load exactly — order, names, sizes, and meta."""
+        trace = ServingWorkload("opt-1.3b", n_requests=40, max_batch=8,
+                                seed=11).build_trace()
+        path = tmp_path / "serving.jsonl"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.meta == trace.meta
+        assert loaded.compute_us_per_iter == trace.compute_us_per_iter
+        assert [(e.op, e.tensor, e.size) for e in loaded.events] == [
+            (e.op, e.tensor, e.size) for e in trace.events
+        ]
+        # The churn signature is intact: some KV frees happen before
+        # later KV allocations (out-of-admission-order retirement).
+        ops = [(e.op, e.tensor) for e in loaded.events
+               if e.tensor.startswith("kv")]
+        first_free = next(i for i, (op, _) in enumerate(ops)
+                          if op is Op.FREE)
+        assert any(op is Op.ALLOC for op, _ in ops[first_free:])
+
+    def test_serving_workload_seed_is_byte_identical(self, tmp_path):
+        """Same seed => byte-identical serialized trace."""
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        save_trace(ServingWorkload("opt-1.3b", n_requests=60, max_batch=8,
+                                   seed=9).build_trace(), path_a)
+        save_trace(ServingWorkload("opt-1.3b", n_requests=60, max_batch=8,
+                                   seed=9).build_trace(), path_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+        path_c = tmp_path / "c.jsonl"
+        save_trace(ServingWorkload("opt-1.3b", n_requests=60, max_batch=8,
+                                   seed=10).build_trace(), path_c)
+        assert path_a.read_bytes() != path_c.read_bytes()
+
 
 class TestCli:
     def test_models_lists_registry(self, capsys):
@@ -92,6 +128,45 @@ class TestCli:
         assert main(["microbench"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "115" in out
+
+    def test_list_allocators(self, capsys):
+        assert main(["list-allocators"]) == 0
+        out = capsys.readouterr().out
+        assert "gmlake" in out and "caching" in out
+        assert "pytorch" in out          # alias column
+        assert "GMLakeAllocator" in out  # class column
+
+    def test_serve_prints_slo_table(self, capsys):
+        code = main(["serve", "--model", "opt-1.3b", "--arrival", "poisson",
+                     "--rate", "2.0", "--requests", "20",
+                     "--allocator", "gmlake", "--capacity", "8GB"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for column in ("TTFT p50", "lat p99", "goodput", "util"):
+            assert column in out
+
+    def test_serve_multi_allocator_multi_gpu(self, capsys):
+        code = main(["serve", "--model", "opt-1.3b", "--arrival", "mmpp",
+                     "--rate", "2.0", "--requests", "20", "--gpus", "2",
+                     "--allocator", "caching,gmlake", "--capacity", "8GB",
+                     "--scheduler", "fcfs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "caching" in out and "gmlake" in out
+
+    def test_serve_replay_arrivals(self, tmp_path, capsys):
+        log = tmp_path / "arrivals.txt"
+        log.write_text("\n".join(str(0.25 * i) for i in range(10)))
+        code = main(["serve", "--model", "opt-1.3b", "--arrival", "replay",
+                     "--arrival-log", str(log), "--requests", "10",
+                     "--allocator", "gmlake", "--capacity", "8GB"])
+        assert code == 0
+        assert "10" in capsys.readouterr().out
+
+    def test_serve_replay_requires_log(self, capsys):
+        code = main(["serve", "--arrival", "replay"])
+        assert code == 2
+        assert "--arrival-log" in capsys.readouterr().err
 
     def test_unknown_command_fails(self):
         with pytest.raises(SystemExit):
