@@ -8,8 +8,8 @@ further, costing utilization.
 """
 
 from repro.analysis import format_table
-from repro.core import GMLakeConfig
-from repro.sim.engine import gmlake_factory, run_workload
+from repro.api import AllocatorSpec
+from repro.sim.engine import run_workload
 from repro.units import MB
 from repro.workloads import TrainingWorkload
 
@@ -21,9 +21,10 @@ def measure():
     workload = TrainingWorkload("opt-13b", batch_size=4, n_gpus=4,
                                 strategies="LR", iterations=8)
     for chunk in CHUNKS:
-        config = GMLakeConfig(chunk_size=chunk, small_threshold=chunk,
-                              fragmentation_limit=chunk)
-        out[chunk] = run_workload(workload, gmlake_factory(config))
+        # chunk_mb alone drags small_threshold / fragmentation_limit
+        # along (the registry's derived defaults for GMLake).
+        spec = AllocatorSpec.parse(f"gmlake?chunk_mb={chunk // MB}")
+        out[chunk] = run_workload(workload, spec)
     return out
 
 

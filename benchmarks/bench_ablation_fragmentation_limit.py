@@ -9,8 +9,8 @@ demonstrates that leak, which is why the default equals the chunk size.
 """
 
 from repro.analysis import format_table
-from repro.core import GMLakeConfig
-from repro.sim.engine import gmlake_factory, run_workload
+from repro.api import AllocatorSpec
+from repro.sim.engine import run_workload
 from repro.units import MB
 from repro.workloads import TrainingWorkload
 
@@ -22,8 +22,8 @@ def measure():
     workload = TrainingWorkload("opt-1.3b", batch_size=8, n_gpus=4,
                                 strategies="LR", iterations=8)
     for limit in LIMITS:
-        config = GMLakeConfig(fragmentation_limit=limit)
-        out[limit] = run_workload(workload, gmlake_factory(config))
+        spec = AllocatorSpec("gmlake", {"fragmentation_limit": limit})
+        out[limit] = run_workload(workload, spec)
     return out
 
 

@@ -9,7 +9,7 @@ drops virtual mappings.
 """
 
 from repro.analysis import format_table
-from repro.core import GMLakeAllocator, GMLakeConfig
+from repro.api import AllocatorSpec
 from repro.gpu.device import GpuDevice
 from repro.sim.engine import run_trace
 from repro.workloads import TrainingWorkload
@@ -23,8 +23,7 @@ def measure():
     trace = workload.build_trace()
     out = {}
     for cap in CAPS:
-        allocator = GMLakeAllocator(
-            GpuDevice(), GMLakeConfig(max_spool_blocks=cap))
+        allocator = AllocatorSpec.parse(f"gmlake?spool={cap}").build(GpuDevice())
         result = run_trace(allocator, trace)
         out[cap] = (result, allocator.counters)
     return out

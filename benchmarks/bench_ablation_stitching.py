@@ -8,8 +8,7 @@ the two configurations isolates the contribution of stitching itself
 """
 
 from repro.analysis import format_table
-from repro.core import GMLakeConfig
-from repro.sim.engine import gmlake_factory, run_workload
+from repro.sim.engine import run_workload
 from repro.workloads import TrainingWorkload
 
 COMBOS = ("R", "LR", "LRO")
@@ -21,10 +20,8 @@ def measure():
     for combo in COMBOS:
         workload = TrainingWorkload("opt-13b", batch_size=4, n_gpus=4,
                                     strategies=combo, iterations=8)
-        stitch_on[combo] = run_workload(
-            workload, gmlake_factory(GMLakeConfig(enable_stitch=True)))
-        stitch_off[combo] = run_workload(
-            workload, gmlake_factory(GMLakeConfig(enable_stitch=False)))
+        stitch_on[combo] = run_workload(workload, "gmlake?stitching=on")
+        stitch_off[combo] = run_workload(workload, "gmlake?stitching=off")
     return stitch_on, stitch_off
 
 

@@ -11,8 +11,6 @@ just the latency formulas, so it also validates the allocator's call
 pattern.
 """
 
-import pytest
-
 from repro.allocators import VmmNaiveAllocator
 from repro.analysis import format_table
 from repro.gpu.device import GpuDevice

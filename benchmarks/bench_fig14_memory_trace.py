@@ -9,7 +9,7 @@ both, but PyTorch's reserved memory sits far above its active memory
 """
 
 from repro.core.bestfit import FitState
-from repro.sim import render_timeline, run_workload
+from repro.sim import render_timeline
 from repro.sim.engine import make_allocator, run_trace
 from repro.gpu.device import GpuDevice
 from repro.workloads import TrainingWorkload

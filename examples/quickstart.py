@@ -1,25 +1,29 @@
 #!/usr/bin/env python
-"""Quickstart: allocate GPU memory through GMLake and watch it stitch.
+"""Quickstart: the `repro.api` surface in 40 lines.
 
-Demonstrates the core mechanism of the paper's Figure 1: two
-non-contiguous free blocks (2 and 5) are fused behind one contiguous
-virtual address to serve a larger allocation (6) that would OOM a
-splitting-only allocator.
+1. Name a *configured* allocator with a spec string and watch GMLake
+   stitch (the paper's Figure 1): two non-contiguous free blocks are
+   fused behind one contiguous virtual address to serve an allocation
+   that would OOM a splitting-only allocator.
+2. Run a whole experiment — any mode, any allocators — through the one
+   ``api.run()`` entry point.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import GB, MB, GMLakeAllocator, GpuDevice
+from repro import GB, MB, GpuDevice, api
 from repro.units import fmt_bytes
 
 
 def main() -> None:
-    # A small simulated GPU makes the effect easy to see: 2.5 GB total.
-    device = GpuDevice(capacity=2560 * MB)
-    allocator = GMLakeAllocator(device)
-
-    print(f"device: {fmt_bytes(device.capacity)} simulated GPU")
-    print()
+    # --- 1. spec string -> configured allocator -----------------------
+    # The mini-DSL names allocator + parameters; `python -m repro
+    # list-allocators` prints every tunable the registry knows.
+    spec = api.AllocatorSpec.parse("gmlake?chunk_mb=2&stitching=on")
+    device = GpuDevice(capacity=2560 * MB)  # a small GPU: easy to see
+    allocator = spec.build(device)
+    print(f"spec {spec} -> {type(allocator).__name__} "
+          f"on a {fmt_bytes(device.capacity)} simulated GPU\n")
 
     # Fill the device with three tensors, then free the two outer ones,
     # leaving two non-contiguous free regions.
@@ -27,9 +31,6 @@ def main() -> None:
     b = allocator.malloc(400 * MB)
     c = allocator.malloc(1 * GB)
     print("allocated a=1GB, b=400MB, c=1GB")
-    print(f"  reserved: {fmt_bytes(allocator.reserved_bytes)}, "
-          f"free device memory: {fmt_bytes(device.free_memory)}")
-
     allocator.free(a)
     allocator.free(c)
     print("freed a and c -> two non-contiguous 1 GB holes")
@@ -38,23 +39,25 @@ def main() -> None:
     # hole; GMLake stitches the two holes into one 2 GB virtual block.
     big = allocator.malloc(2 * GB)
     print(f"allocated big=2GB at virtual address {big.ptr:#x}")
-    print(f"  BestFit states: {allocator.state_histogram()}")
     print(f"  stitches performed: {allocator.counters.stitches}")
-    print(f"  new physical memory allocated for 'big': "
-          f"{fmt_bytes(allocator.counters.alloc_pblocks and 0)}"
-          " (served entirely from stitched free blocks)")
-
     stats = allocator.stats()
-    print()
-    print(f"peak active   : {fmt_bytes(stats.peak_active_bytes)}")
-    print(f"peak reserved : {fmt_bytes(stats.peak_reserved_bytes)}")
-    print(f"utilization   : {stats.utilization_ratio:.1%} "
-          f"(fragmentation {stats.fragmentation_ratio:.1%})")
-
+    print(f"  peak reserved {fmt_bytes(stats.peak_reserved_bytes)}, "
+          f"utilization {stats.utilization_ratio:.1%}")
     allocator.free(b)
     allocator.free(big)
     allocator.check_invariants()
-    print("\ninvariants hold; done.")
+    print("invariants hold; done.")
+
+    # --- 2. one entry point for whole experiments ---------------------
+    print("\nreplaying OPT-1.3B fine-tuning under two allocator specs:")
+    results = api.run(api.ExperimentSpec(
+        mode="replay",
+        allocators=["caching", "gmlake?chunk_mb=4"],
+        workload=api.WorkloadSpec(model="opt-1.3b", batch_size=2,
+                                  n_gpus=1, iterations=2),
+    ))
+    for result in results:
+        print("  " + result.summary())
 
 
 if __name__ == "__main__":

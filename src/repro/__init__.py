@@ -20,6 +20,22 @@ Higher layers generate LLM fine-tuning allocation traces
 (:mod:`repro.sim`), and regenerate every table and figure of the paper
 (:mod:`repro.analysis` + the ``benchmarks/`` directory).
 
+Experiments are constructed and run through :mod:`repro.api` — a
+registry of parameterized allocators (spec strings like
+``"gmlake?chunk_mb=512&stitching=off"``), serializable
+:class:`~repro.api.ExperimentSpec` descriptions, and one
+:func:`repro.api.run` entry point covering every mode below:
+
+>>> from repro import api
+>>> results = api.run(api.ExperimentSpec(
+...     mode="replay",
+...     allocators=["caching", "gmlake?chunk_mb=4"],
+...     workload=api.WorkloadSpec(model="opt-1.3b", batch_size=2,
+...                               iterations=2),
+... ))
+>>> results[0].allocator_name
+'caching'
+
 Two evaluation modes exist, split by who controls time:
 
 * **Offline replay** (:mod:`repro.sim`) — a pre-built
@@ -36,8 +52,10 @@ Two evaluation modes exist, split by who controls time:
   and ``python -m repro serve``.
 """
 
+from repro import api
 from repro.allocators import (
     Allocation,
+    AllocatorObserver,
     AllocatorStats,
     BaseAllocator,
     CachingAllocator,
@@ -59,7 +77,9 @@ from repro.units import GB, KB, MB
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
     "Allocation",
+    "AllocatorObserver",
     "AllocatorStats",
     "BaseAllocator",
     "CachingAllocator",

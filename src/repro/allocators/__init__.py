@@ -19,7 +19,7 @@ Implementations:
   contribution (lives in :mod:`repro.core`).
 """
 
-from repro.allocators.base import Allocation, BaseAllocator
+from repro.allocators.base import Allocation, AllocatorObserver, BaseAllocator
 from repro.allocators.caching import CachingAllocator
 from repro.allocators.expandable import ExpandableSegmentsAllocator
 from repro.allocators.native import NativeAllocator
@@ -28,6 +28,7 @@ from repro.allocators.vmm_naive import VmmNaiveAllocator
 
 __all__ = [
     "Allocation",
+    "AllocatorObserver",
     "BaseAllocator",
     "AllocatorStats",
     "NativeAllocator",

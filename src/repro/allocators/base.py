@@ -10,13 +10,14 @@ identically.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.allocators.stats import AllocatorStats
 from repro.errors import (
     AllocatorError,
     DoubleFreeError,
+    OutOfMemoryError,
     UnknownAllocationError,
 )
 from repro.gpu.device import GpuDevice
@@ -53,6 +54,30 @@ class _OpCounters:
     host_time_us: float = 0.0
 
 
+class AllocatorObserver:
+    """Event-hook interface over one allocator's lifecycle.
+
+    Subscribers (timeline recorders, memory reports, custom telemetry)
+    attach with :meth:`BaseAllocator.add_observer` and override the
+    hooks they care about; every hook is a no-op by default.  Hooks
+    fire *after* the allocator's bookkeeping, so ``allocator.stats()``
+    seen from a hook is consistent with the event.
+    """
+
+    def on_alloc(self, allocator: "BaseAllocator", allocation: Allocation) -> None:
+        """A malloc succeeded."""
+
+    def on_free(self, allocator: "BaseAllocator", allocation: Allocation) -> None:
+        """An allocation was returned."""
+
+    def on_empty_cache(self, allocator: "BaseAllocator") -> None:
+        """``empty_cache`` released the allocator's cached memory."""
+
+    def on_oom(self, allocator: "BaseAllocator", size: int,
+               error: OutOfMemoryError) -> None:
+        """A malloc of ``size`` bytes failed even after reclaim."""
+
+
 class BaseAllocator(ABC):
     """Abstract allocator over one :class:`~repro.gpu.device.GpuDevice`."""
 
@@ -66,6 +91,7 @@ class BaseAllocator(ABC):
         self.peak_active_bytes = 0
         self.peak_reserved_bytes = 0
         self._driver_time_at_start = device.driver_time_us()
+        self._observers: List[AllocatorObserver] = []
 
     # ------------------------------------------------------------------
     # Public interface
@@ -78,7 +104,12 @@ class BaseAllocator(ABC):
         """
         if size <= 0:
             raise AllocatorError(f"malloc size must be positive, got {size}")
-        ptr, rounded = self._malloc_impl(size)
+        try:
+            ptr, rounded = self._malloc_impl(size)
+        except OutOfMemoryError as exc:
+            for observer in self._observers:
+                observer.on_oom(self, size, exc)
+            raise
         alloc = Allocation(ptr=ptr, size=size, rounded_size=rounded,
                            alloc_id=self._next_id)
         self._next_id += 1
@@ -87,6 +118,8 @@ class BaseAllocator(ABC):
         self.active_bytes += rounded
         self.peak_active_bytes = max(self.peak_active_bytes, self.active_bytes)
         self._update_reserved_peak()
+        for observer in self._observers:
+            observer.on_alloc(self, alloc)
         return alloc
 
     def free(self, allocation: Allocation) -> None:
@@ -105,13 +138,34 @@ class BaseAllocator(ABC):
         self._counters.free_count += 1
         self.active_bytes -= allocation.rounded_size
         self._update_reserved_peak()
+        for observer in self._observers:
+            observer.on_free(self, allocation)
 
     def empty_cache(self) -> None:
-        """Release every cached (unused) physical byte back to the device.
+        """Release every cached (unused) physical byte back to the device."""
+        self._empty_cache_impl()
+        for observer in self._observers:
+            observer.on_empty_cache(self)
+
+    def _empty_cache_impl(self) -> None:
+        """Subclass hook behind :meth:`empty_cache`.
 
         The default implementation is a no-op for allocators that cache
         nothing (the native allocator).
         """
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: AllocatorObserver) -> AllocatorObserver:
+        """Subscribe ``observer`` to this allocator's events."""
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: AllocatorObserver) -> None:
+        """Unsubscribe ``observer`` (no-op if not subscribed)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     def stats(self) -> AllocatorStats:
         """Snapshot of this allocator's statistics."""

@@ -246,7 +246,7 @@ class CachingAllocator(BaseAllocator):
     # ------------------------------------------------------------------
     # Cache release
     # ------------------------------------------------------------------
-    def empty_cache(self) -> None:
+    def _empty_cache_impl(self) -> None:
         """Release every wholly-free segment back to the device."""
         self._release_cached_segments()
 

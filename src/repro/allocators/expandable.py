@@ -260,7 +260,7 @@ class ExpandableSegmentsAllocator(BaseAllocator):
     def _trim_all(self) -> int:
         return sum(a.trim_tail() for a in self._arenas.values())
 
-    def empty_cache(self) -> None:
+    def _empty_cache_impl(self) -> None:
         """Trim the free tail of both arenas back to the device."""
         self._trim_all()
 

@@ -19,6 +19,7 @@ from repro.analysis.experiments import (
 )
 from repro.analysis.memory_report import (
     MemoryReport,
+    PeakMemoryObserver,
     fragmentation_headroom,
     report_for,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "summarize",
     "format_table",
     "MemoryReport",
+    "PeakMemoryObserver",
     "report_for",
     "fragmentation_headroom",
 ]

@@ -9,8 +9,9 @@ trends, OOM ordering).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
+from repro.api.spec import AllocatorLike
 from repro.sim.engine import AllocatorFactory, EngineResult, run_workload
 from repro.sim.metrics import ComparisonRow, compare_results
 from repro.units import A100_80GB
@@ -24,8 +25,8 @@ DEFAULT_ITERATIONS = 8
 
 def _compare(
     workload: TrainingWorkload,
-    baseline: Union[str, AllocatorFactory] = "caching",
-    gmlake: Union[str, AllocatorFactory] = "gmlake",
+    baseline: Union[AllocatorLike, AllocatorFactory] = "caching",
+    gmlake: Union[AllocatorLike, AllocatorFactory] = "gmlake",
     capacity: int = A100_80GB,
 ) -> ComparisonRow:
     base = run_workload(workload, baseline, capacity=capacity)
@@ -39,7 +40,7 @@ def strategy_sweep(
     combos: Sequence[str] = ("N", "R", "LR", "RO", "LRO"),
     n_gpus: int = 4,
     iterations: int = DEFAULT_ITERATIONS,
-    gmlake: Union[str, AllocatorFactory] = "gmlake",
+    gmlake: Union[AllocatorLike, AllocatorFactory] = "gmlake",
 ) -> List[ComparisonRow]:
     """Figure 3 / Figure 10: memory-efficient strategy combinations."""
     rows = []
@@ -58,7 +59,7 @@ def scaleout_sweep(
     gpu_counts: Sequence[int] = (1, 2, 4, 8, 16),
     strategies: str = "LR",
     iterations: int = DEFAULT_ITERATIONS,
-    gmlake: Union[str, AllocatorFactory] = "gmlake",
+    gmlake: Union[AllocatorLike, AllocatorFactory] = "gmlake",
 ) -> List[ComparisonRow]:
     """Figure 4 / Figure 11: GPU scale-out."""
     rows = []
@@ -80,7 +81,7 @@ def platform_sweep(
     n_gpus: int = 4,
     strategies: str = "LR",
     iterations: int = DEFAULT_ITERATIONS,
-    gmlake: Union[str, AllocatorFactory] = "gmlake",
+    gmlake: Union[AllocatorLike, AllocatorFactory] = "gmlake",
 ) -> List[ComparisonRow]:
     """Figure 12: platforms (FSDP-GLM-10B, DS-OPT-13B, CAI-GPT-2)."""
     rows = []
@@ -99,7 +100,7 @@ def batch_sweep(
     n_gpus: int = 4,
     strategies: str = "LR",
     iterations: int = DEFAULT_ITERATIONS,
-    gmlake: Union[str, AllocatorFactory] = "gmlake",
+    gmlake: Union[AllocatorLike, AllocatorFactory] = "gmlake",
     capacity: int = A100_80GB,
 ) -> List[ComparisonRow]:
     """Figure 13: end-to-end batch-size sweep with OOM detection."""

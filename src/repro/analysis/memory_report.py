@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.allocators.base import BaseAllocator
+from repro.allocators.base import AllocatorObserver, BaseAllocator
 from repro.allocators.caching import CachingAllocator
 from repro.allocators.expandable import ExpandableSegmentsAllocator
 from repro.core.allocator import GMLakeAllocator
@@ -127,10 +127,12 @@ def _report_expandable(allocator: ExpandableSegmentsAllocator) -> MemoryReport:
 def _report_gmlake(allocator: GMLakeAllocator) -> MemoryReport:
     sizes = [block.size for block in allocator.ppool if not block.active]
     largest = max(sizes) if sizes else 0
-    stitchable = sum(
-        size for size in sizes
-        if size >= allocator.config.fragmentation_limit
-    )
+    stitchable = 0
+    if allocator.config.enable_stitch:
+        stitchable = sum(
+            size for size in sizes
+            if size >= allocator.config.fragmentation_limit
+        )
     return MemoryReport(
         allocator=allocator.name,
         reserved_bytes=allocator.reserved_bytes,
@@ -150,3 +152,52 @@ def fragmentation_headroom(allocator: BaseAllocator) -> int:
     GMLake's stitching advantage (zero for non-stitching allocators)."""
     report = report_for(allocator)
     return max(0, report.max_servable - report.largest_free_block)
+
+
+class PeakMemoryObserver(AllocatorObserver):
+    """Event-hook subscriber that keeps the report at the *worst* moment.
+
+    Attach with ``allocator.add_observer(PeakMemoryObserver())``: after
+    the run, :attr:`at_peak` holds the :class:`MemoryReport` snapshotted
+    near the moment reserved memory peaked, and :attr:`at_oom` the
+    report at the first OOM (None if the run never OOMed) — the two
+    states a post-mortem actually wants, captured without any replay-
+    loop involvement.
+
+    A report is rebuilt only when the reserved peak grows by at least
+    ``min_growth`` bytes (and always on the very first event), so a
+    monotone ramp-up of N allocations costs O(peak / min_growth)
+    report builds rather than O(N); plateaus cost nothing.  Set
+    ``min_growth=0`` for an exact at-the-peak snapshot.
+    """
+
+    def __init__(self, min_growth: int = 16 * MB):
+        if min_growth < 0:
+            raise ValueError("min_growth must be non-negative")
+        self.min_growth = min_growth
+        self.at_peak: Optional[MemoryReport] = None
+        self.at_oom: Optional[MemoryReport] = None
+        self.oom_requested: int = 0
+        self._peak_reserved = -1
+        self._snapshot_reserved = -1
+
+    def _maybe_snapshot(self, allocator: BaseAllocator) -> None:
+        reserved = allocator.reserved_bytes
+        if reserved <= self._peak_reserved:
+            return
+        self._peak_reserved = reserved
+        if (self.at_peak is None
+                or reserved - self._snapshot_reserved > self.min_growth):
+            self._snapshot_reserved = reserved
+            self.at_peak = report_for(allocator)
+
+    def on_alloc(self, allocator, allocation) -> None:
+        self._maybe_snapshot(allocator)
+
+    def on_free(self, allocator, allocation) -> None:
+        self._maybe_snapshot(allocator)
+
+    def on_oom(self, allocator, size, error) -> None:
+        if self.at_oom is None:
+            self.at_oom = report_for(allocator)
+            self.oom_requested = size

@@ -10,7 +10,6 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.sim.metrics import ComparisonRow, mem_reduction_ratio
-from repro.units import GB
 
 
 @dataclass

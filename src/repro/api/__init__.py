@@ -1,0 +1,91 @@
+"""``repro.api`` — the public surface for building and running experiments.
+
+Three layers, each usable alone:
+
+* **Registry** (:mod:`repro.api.registry`) — every allocator registers
+  once with :func:`register_allocator` (canonical name, aliases, paper
+  section, tunable parameters).  The CLI, benchmarks and simulators all
+  resolve allocators here; plugging in a new allocator is one decorator.
+* **Specs** (:mod:`repro.api.spec`) — :class:`AllocatorSpec` parses the
+  ``"gmlake?chunk_mb=512&stitching=off"`` mini-DSL into a validated,
+  JSON-round-trippable configuration; :class:`ExperimentSpec` does the
+  same for a whole experiment (mode + workload + allocators).
+* **Runner** (:mod:`repro.api.experiment`) — :func:`run` dispatches
+  offline replay, multi-rank cluster runs and online serving through
+  one code path, returning :class:`ExperimentResult` adapters that all
+  satisfy the :class:`RunResult` protocol.
+
+Quick start::
+
+    from repro import api
+
+    allocator = api.AllocatorSpec.parse("gmlake?chunk_mb=512")
+    results = api.run(api.ExperimentSpec(
+        mode="replay",
+        allocators=["caching", allocator],
+        workload=api.WorkloadSpec(model="opt-1.3b", batch_size=2),
+    ))
+    print(results[-1].summary())
+
+The legacy entry points (``repro.sim.engine.make_allocator``,
+``ALLOCATOR_FACTORIES``, ``gmlake_factory``) remain as thin
+deprecation shims over this package.
+"""
+
+from repro.api.experiment import (
+    MODES,
+    ExperimentSpec,
+    ServingSpec,
+    WorkloadSpec,
+    run,
+)
+from repro.api.registry import (
+    AllocatorInfo,
+    Param,
+    SpecError,
+    UnknownAllocatorError,
+    allocator_names,
+    allocator_registry,
+    canonical_name,
+    get_allocator_info,
+    iter_allocators,
+    register_allocator,
+)
+from repro.api.result import (
+    ExperimentResult,
+    RunResult,
+    WorstMemberRunResult,
+    run_result_row,
+)
+from repro.api.spec import (
+    AllocatorLike,
+    AllocatorSpec,
+    resolve_allocator,
+    spec_label,
+)
+
+__all__ = [
+    "AllocatorInfo",
+    "AllocatorLike",
+    "AllocatorSpec",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "MODES",
+    "Param",
+    "RunResult",
+    "ServingSpec",
+    "SpecError",
+    "UnknownAllocatorError",
+    "WorkloadSpec",
+    "WorstMemberRunResult",
+    "allocator_names",
+    "allocator_registry",
+    "canonical_name",
+    "get_allocator_info",
+    "iter_allocators",
+    "register_allocator",
+    "resolve_allocator",
+    "run",
+    "run_result_row",
+    "spec_label",
+]

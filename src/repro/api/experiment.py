@@ -1,0 +1,281 @@
+"""``ExperimentSpec`` + :func:`run` — one entry point for every mode.
+
+An experiment is: a **mode** (``replay`` — offline trace replay on one
+device; ``cluster`` — every training rank simulated; ``serve`` — the
+online serving simulator, multi-replica when ``serving.replicas > 1``),
+a **workload**, a device **capacity**, and one or more
+:class:`~repro.api.spec.AllocatorSpec`.  :func:`run` dispatches all
+modes through one code path and returns one
+:class:`~repro.api.result.ExperimentResult` per allocator, so tables
+and scripts consume every mode uniformly::
+
+    from repro import api
+
+    spec = api.ExperimentSpec(
+        mode="replay",
+        allocators=["caching", "gmlake?chunk_mb=512&stitching=off"],
+        workload=api.WorkloadSpec(model="opt-13b", batch_size=4),
+    )
+    for result in api.run(spec):
+        print(result.summary())
+
+Specs serialize to JSON (``to_dict``/``from_dict``, ``save``/``load``)
+so whole experiments ship as files: ``python -m repro run --spec
+experiment.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.api.registry import SpecError
+from repro.api.result import ExperimentResult
+from repro.api.spec import AllocatorSpec
+from repro.units import A100_80GB, parse_size
+
+MODES = ("replay", "cluster", "serve")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A training workload, as :class:`repro.workloads.TrainingWorkload`
+    names it (used by the ``replay`` and ``cluster`` modes)."""
+
+    model: str = "opt-13b"
+    batch_size: int = 4
+    n_gpus: int = 4
+    strategies: str = "LR"
+    platform: str = "deepspeed"
+    iterations: int = 8
+    seed: int = 0
+
+    def build(self):
+        from repro.workloads.training import TrainingWorkload
+
+        return TrainingWorkload(
+            self.model, batch_size=self.batch_size, n_gpus=self.n_gpus,
+            strategies=self.strategies, platform=self.platform,
+            iterations=self.iterations, seed=self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class ServingSpec:
+    """An online serving scenario (used by the ``serve`` mode)."""
+
+    model: str = "opt-13b"
+    arrival: str = "poisson"          # poisson | mmpp
+    rate_per_s: float = 2.0
+    burst_rate_per_s: float = 0.0     # mmpp only; 0 -> 4x rate
+    mean_dwell_s: float = 10.0        # mmpp only
+    n_requests: int = 100
+    mean_prompt: int = 512
+    mean_output: int = 256
+    scheduler: str = "memory-aware"
+    max_batch: int = 16
+    queue_timeout_s: float = 60.0
+    replicas: int = 1
+    slo_ttft_s: float = 2.0
+    slo_tpot_s: float = 0.05
+    seed: int = 0
+
+    def build_stream(self):
+        from repro.serve.arrivals import (
+            LengthSampler,
+            MMPPArrivals,
+            PoissonArrivals,
+        )
+
+        if self.arrival == "poisson":
+            arrivals = PoissonArrivals(rate_per_s=self.rate_per_s)
+        elif self.arrival == "mmpp":
+            burst = self.burst_rate_per_s or 4.0 * self.rate_per_s
+            arrivals = MMPPArrivals(rate_calm_per_s=self.rate_per_s,
+                                    rate_burst_per_s=burst,
+                                    mean_dwell_s=self.mean_dwell_s)
+        else:
+            raise SpecError(
+                f"unknown arrival process {self.arrival!r} "
+                "(expected poisson or mmpp)"
+            )
+        lengths = LengthSampler(mean_prompt=self.mean_prompt,
+                                mean_output=self.mean_output)
+        return arrivals.generate(self.n_requests, lengths, seed=self.seed)
+
+    def slo(self):
+        from repro.serve.metrics import SloConfig
+
+        return SloConfig(ttft_s=self.slo_ttft_s, tpot_s=self.slo_tpot_s)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, serializable experiment description."""
+
+    mode: str = "replay"
+    allocators: Sequence[Union[str, AllocatorSpec]] = ("caching", "gmlake")
+    capacity: int = A100_80GB
+    workload: Optional[WorkloadSpec] = None
+    serving: Optional[ServingSpec] = None
+    record_timeline: bool = False
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise SpecError(
+                f"unknown experiment mode {self.mode!r}; known: {MODES}"
+            )
+        specs = tuple(AllocatorSpec.parse(a) for a in self.allocators)
+        if not specs:
+            raise SpecError("experiment needs at least one allocator")
+        object.__setattr__(self, "allocators", specs)
+        capacity = self.capacity
+        if isinstance(capacity, str):
+            capacity = parse_size(capacity)
+        if capacity <= 0:
+            raise SpecError(f"capacity must be positive, got {capacity}")
+        object.__setattr__(self, "capacity", int(capacity))
+        if self.mode in ("replay", "cluster") and self.workload is None:
+            object.__setattr__(self, "workload", WorkloadSpec())
+        if self.mode == "serve" and self.serving is None:
+            object.__setattr__(self, "serving", ServingSpec())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict; round-trips via :meth:`from_dict`."""
+        out: Dict[str, Any] = {
+            "mode": self.mode,
+            "allocators": [spec.to_dict() for spec in self.allocators],
+            "capacity": self.capacity,
+        }
+        if self.record_timeline:
+            out["record_timeline"] = True
+        if self.workload is not None:
+            out["workload"] = asdict(self.workload)
+        if self.serving is not None:
+            out["serving"] = asdict(self.serving)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        """Inverse of :meth:`to_dict` (tolerates spec-string allocators)."""
+        unknown = set(data) - {"mode", "allocators", "capacity",
+                               "workload", "serving", "record_timeline"}
+        if unknown:
+            raise SpecError(f"unknown experiment spec keys {sorted(unknown)}")
+        allocators = [
+            AllocatorSpec.from_dict(a) if isinstance(a, dict)
+            else AllocatorSpec.parse(a)
+            for a in data.get("allocators", ("caching", "gmlake"))
+        ]
+        try:
+            workload = (WorkloadSpec(**data["workload"])
+                        if data.get("workload") else None)
+            serving = (ServingSpec(**data["serving"])
+                       if data.get("serving") else None)
+        except TypeError as exc:
+            raise SpecError(f"bad experiment spec: {exc}") from exc
+        return cls(
+            mode=data.get("mode", "replay"),
+            allocators=allocators,
+            capacity=data.get("capacity", A100_80GB),
+            workload=workload,
+            serving=serving,
+            record_timeline=bool(data.get("record_timeline", False)),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid JSON in experiment spec: {exc}") from exc
+        if not isinstance(data, dict):
+            raise SpecError(
+                f"experiment spec must be a JSON object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+    def save(self, path: str) -> None:
+        """Write the spec as a JSON experiment file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ExperimentSpec":
+        """Read a JSON experiment file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+# ----------------------------------------------------------------------
+# The one entry point
+# ----------------------------------------------------------------------
+def run(
+    spec: Union[ExperimentSpec, Dict[str, Any], str],
+) -> List[ExperimentResult]:
+    """Run one experiment, any mode, one result per allocator.
+
+    ``spec`` may be an :class:`ExperimentSpec`, its dict form, or a
+    path to a JSON experiment file.  Each allocator runs on a fresh
+    simulated device, exactly as the mode's native runner would — a
+    ``replay`` run of a workload is byte-for-byte identical to calling
+    :func:`repro.sim.engine.run_workload` directly.
+    """
+    if isinstance(spec, str):
+        spec = ExperimentSpec.load(spec)
+    elif isinstance(spec, dict):
+        spec = ExperimentSpec.from_dict(spec)
+    runner = {"replay": _run_replay, "cluster": _run_cluster,
+              "serve": _run_serve}[spec.mode]
+    return [runner(spec, allocator) for allocator in spec.allocators]
+
+
+def _run_replay(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResult:
+    from repro.sim.engine import run_workload
+
+    result = run_workload(
+        spec.workload.build(), allocator, capacity=spec.capacity,
+        record_timeline=spec.record_timeline,
+    )
+    return ExperimentResult.from_engine(result, label=allocator.label)
+
+
+def _run_cluster(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResult:
+    from repro.sim.cluster import run_cluster
+
+    result = run_cluster(spec.workload.build(), allocator,
+                         capacity=spec.capacity,
+                         record_timeline=spec.record_timeline)
+    return ExperimentResult.from_cluster(result, label=allocator.label)
+
+
+def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResult:
+    from repro.serve.cluster import run_serving_cluster
+    from repro.serve.simulator import ServingConfig, run_serving
+
+    serving = spec.serving
+    stream = serving.build_stream()
+    config = ServingConfig(max_batch=serving.max_batch,
+                           queue_timeout_s=serving.queue_timeout_s,
+                           record_timeline=spec.record_timeline)
+    if serving.replicas > 1:
+        result = run_serving_cluster(
+            stream, serving.model, n_replicas=serving.replicas,
+            allocator=allocator, capacity=spec.capacity,
+            scheduler=serving.scheduler, config=config,
+        )
+        return ExperimentResult.from_serve_cluster(
+            result, slo=serving.slo(), label=allocator.label)
+    result = run_serving(
+        stream, serving.model, allocator=allocator, capacity=spec.capacity,
+        scheduler=serving.scheduler, config=config,
+    )
+    return ExperimentResult.from_serving(
+        result, slo=serving.slo(), label=allocator.label)

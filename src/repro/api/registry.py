@@ -1,0 +1,395 @@
+"""The allocator registry — one catalogue for every pluggable allocator.
+
+The paper sells GMLake as a *transparent drop-in* for the caching
+allocator; this module makes the repo's own plumbing equally drop-in.
+Every allocator registers once, with metadata (canonical name, aliases,
+paper section, tunable parameters), and every consumer — the CLI, the
+replay engine, the serving simulator, the benchmarks — resolves
+allocators through the same catalogue instead of hand-rolled dicts and
+factory closures.
+
+Registering a new allocator::
+
+    @register_allocator(
+        "myalloc",
+        aliases=("ma",),
+        paper_section="§X",
+        params=(Param("chunk_size", int, 2 * MB, kind="size"),),
+    )
+    class MyAllocator(BaseAllocator):
+        def __init__(self, device, chunk_size=2 * MB): ...
+
+Parameters may be declared explicitly (as above), pulled from a config
+dataclass (``config_cls=GMLakeConfig`` — construction then passes one
+config object), or introspected from the constructor signature when
+omitted.  :class:`~repro.api.spec.AllocatorSpec` consumes this metadata
+to parse and validate ``"name?key=value&..."`` spec strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from repro.allocators.base import BaseAllocator
+from repro.errors import ReproError
+from repro.gpu.device import GpuDevice
+from repro.units import GB, KB, MB, fmt_bytes
+
+
+class SpecError(ReproError, ValueError):
+    """A malformed allocator/experiment spec (bad name, param or value)."""
+
+
+class UnknownAllocatorError(SpecError, KeyError):
+    """The spec names an allocator the registry does not know.
+
+    Inherits :class:`KeyError` so legacy callers of the deprecated
+    ``make_allocator`` shim keep catching the same exception type.
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s the message
+        return self.args[0] if self.args else ""
+
+
+#: Value kinds a parameter can declare.  ``size`` parameters accept byte
+#: counts, human strings ("512MB"), and unit-suffixed key aliases
+#: (``chunk_mb=512``); ``bool`` parameters accept on/off/true/false/1/0.
+_KINDS = ("int", "float", "bool", "str", "size")
+
+
+@dataclass(frozen=True)
+class Param:
+    """One tunable parameter of a registered allocator.
+
+    Attributes
+    ----------
+    name:
+        Canonical parameter name (a constructor or config-field name).
+    type:
+        Python type of the validated value.
+    default:
+        Default value when the spec does not mention the parameter.
+    kind:
+        Value syntax: ``int`` / ``float`` / ``bool`` / ``str`` /
+        ``size`` (bytes, accepts ``"512MB"`` strings and ``*_mb`` keys).
+    aliases:
+        Alternative spec keys (e.g. ``stitching`` for
+        ``enable_stitch``).
+    doc:
+        One-line description shown by ``repro list-allocators``.
+    """
+
+    name: str
+    type: type
+    default: Any
+    kind: str = "int"
+    aliases: Tuple[str, ...] = ()
+    doc: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown param kind {self.kind!r}")
+        expected = {"int": int, "size": int, "float": float,
+                    "bool": bool, "str": str}[self.kind]
+        if self.type is not expected:
+            raise ValueError(
+                f"param {self.name!r}: kind {self.kind!r} requires type "
+                f"{expected.__name__}, got {self.type.__name__}"
+            )
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        """Every spec key that resolves to this parameter.
+
+        Size parameters additionally accept ``<base>_kb/_mb/_gb`` keys
+        (``base`` is the name minus a trailing ``_size``), whose numeric
+        value is scaled by the unit — so ``chunk_mb=512`` means a
+        512 MB ``chunk_size``.
+        """
+        keys = [self.name, *self.aliases]
+        if self.kind == "size":
+            base = self.name[: -len("_size")] if self.name.endswith("_size") else self.name
+            keys += [f"{base}_kb", f"{base}_mb", f"{base}_gb"]
+        return tuple(dict.fromkeys(keys))
+
+    def default_str(self) -> str:
+        """The default rendered for the registry listing."""
+        if self.kind == "size":
+            return fmt_bytes(self.default)
+        return str(self.default)
+
+    @property
+    def type_name(self) -> str:
+        return "size" if self.kind == "size" else self.type.__name__
+
+
+@dataclass(frozen=True)
+class AllocatorInfo:
+    """Registry metadata for one allocator."""
+
+    name: str
+    cls: Type[BaseAllocator]
+    aliases: Tuple[str, ...] = ()
+    params: Tuple[Param, ...] = ()
+    config_cls: Optional[type] = None
+    paper_section: str = ""
+    description: str = ""
+    #: Optional hook: given the explicitly-set params, return derived
+    #: defaults for params the user left unset (e.g. GMLake raises its
+    #: fragmentation limit to a non-default chunk size).
+    derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
+
+    def find_param(self, key: str) -> Tuple[Param, float]:
+        """Resolve a spec key to ``(param, value_scale)``.
+
+        Raises :class:`SpecError` for unknown keys.
+        """
+        for param in self.params:
+            for candidate in param.keys:
+                if candidate == key:
+                    scale = 1.0
+                    if param.kind == "size" and key != param.name:
+                        scale = {"_kb": KB, "_mb": MB, "_gb": GB}.get(key[-3:], 1.0)
+                    return param, scale
+        known = ", ".join(p.name for p in self.params) or "(none)"
+        raise SpecError(
+            f"allocator {self.name!r} has no parameter {key!r}; "
+            f"known parameters: {known}"
+        )
+
+    def resolve_params(self, explicit: Dict[str, Any]) -> Dict[str, Any]:
+        """Fill derived defaults around the explicitly-set parameters."""
+        resolved = dict(explicit)
+        if self.derive is not None:
+            for key, value in self.derive(explicit).items():
+                resolved.setdefault(key, value)
+        return resolved
+
+    def build(self, device: GpuDevice, params: Optional[Dict[str, Any]] = None) -> BaseAllocator:
+        """Instantiate the allocator on ``device`` with ``params``."""
+        resolved = self.resolve_params(params or {})
+        try:
+            if self.config_cls is not None:
+                return self.cls(device, self.config_cls(**resolved))
+            return self.cls(device, **resolved)
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"cannot construct allocator {self.name!r} "
+                f"with params {resolved!r}: {exc}"
+            ) from exc
+
+
+_REGISTRY: Dict[str, AllocatorInfo] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def _params_from_config(config_cls: type) -> Tuple[Param, ...]:
+    """Derive :class:`Param` metadata from a config dataclass."""
+    params = []
+    for field in dataclasses.fields(config_cls):
+        default = field.default
+        kind = {bool: "bool", float: "float", str: "str"}.get(type(default), "int")
+        params.append(Param(field.name, type(default), default, kind=kind))
+    return tuple(params)
+
+
+def _params_from_init(cls: type) -> Tuple[Param, ...]:
+    """Derive :class:`Param` metadata from a constructor signature.
+
+    Keyword parameters after ``device`` with a simple-typed default
+    become tunables; anything else is not spec-addressable.
+    """
+    params = []
+    for parameter in list(inspect.signature(cls.__init__).parameters.values())[2:]:
+        default = parameter.default
+        if default is inspect.Parameter.empty:
+            continue
+        if isinstance(default, bool):
+            kind: str = "bool"
+        elif isinstance(default, int):
+            kind = "int"
+        elif isinstance(default, float):
+            kind = "float"
+        elif isinstance(default, str):
+            kind = "str"
+        else:
+            continue
+        params.append(Param(parameter.name, type(default), default, kind=kind))
+    return tuple(params)
+
+
+def register_allocator(
+    name: str,
+    *,
+    aliases: Sequence[str] = (),
+    params: Optional[Sequence[Param]] = None,
+    config_cls: Optional[type] = None,
+    paper_section: str = "",
+    description: str = "",
+    derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+) -> Callable[[Type[BaseAllocator]], Type[BaseAllocator]]:
+    """Class decorator registering an allocator under ``name``.
+
+    ``aliases`` are alternative names resolving to the same entry (the
+    registry keeps one canonical entry; listings print aliases as
+    metadata, not as extra allocators).  ``params`` declares the
+    tunables explicitly; when omitted they are derived from
+    ``config_cls``'s dataclass fields (construction then passes a
+    single config object) or, failing that, introspected from the
+    constructor signature.
+    """
+
+    def decorate(cls: Type[BaseAllocator]) -> Type[BaseAllocator]:
+        if name in _REGISTRY or name in _ALIASES:
+            raise ValueError(f"allocator {name!r} registered twice")
+        if params is not None:
+            tunables = tuple(params)
+        elif config_cls is not None:
+            tunables = _params_from_config(config_cls)
+        else:
+            tunables = _params_from_init(cls)
+        doc = description or (cls.__doc__ or "").strip().splitlines()[0]
+        info = AllocatorInfo(
+            name=name, cls=cls, aliases=tuple(aliases), params=tunables,
+            config_cls=config_cls, paper_section=paper_section,
+            description=doc, derive=derive,
+        )
+        _REGISTRY[name] = info
+        for alias in info.aliases:
+            if alias in _REGISTRY or alias in _ALIASES:
+                raise ValueError(f"allocator alias {alias!r} registered twice")
+            _ALIASES[alias] = name
+        return cls
+
+    return decorate
+
+
+def canonical_name(name: str) -> str:
+    """Map a name or alias to the canonical registry name."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(set(_REGISTRY) | set(_ALIASES)))
+        raise UnknownAllocatorError(
+            f"unknown allocator {name!r}; known: {known}"
+        )
+    return key
+
+
+def get_allocator_info(name: str) -> AllocatorInfo:
+    """Look up registry metadata by canonical name or alias."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def allocator_registry() -> Dict[str, AllocatorInfo]:
+    """The canonical-name → :class:`AllocatorInfo` catalogue (a copy)."""
+    return dict(_REGISTRY)
+
+
+def allocator_names(include_aliases: bool = False) -> List[str]:
+    """Registered allocator names, optionally with aliases."""
+    names = list(_REGISTRY)
+    if include_aliases:
+        names += list(_ALIASES)
+    return sorted(names)
+
+
+def iter_allocators() -> Iterable[AllocatorInfo]:
+    """Iterate registry entries in registration order."""
+    return iter(_REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Built-in registrations
+# ----------------------------------------------------------------------
+def _register_builtins() -> None:
+    from repro.allocators.caching import CachingAllocator
+    from repro.allocators.expandable import ExpandableSegmentsAllocator
+    from repro.allocators.native import NativeAllocator
+    from repro.allocators.vmm_naive import VmmNaiveAllocator
+    from repro.core.allocator import GMLakeAllocator
+    from repro.core.config import GMLakeConfig
+
+    def gmlake_derive(explicit: Dict[str, Any]) -> Dict[str, Any]:
+        # A non-default chunk size drags the dependent knobs with it
+        # (the config requires fragmentation_limit >= chunk_size, and
+        # the ablations sweep all three together), unless they are
+        # pinned explicitly.
+        chunk = explicit.get("chunk_size")
+        if chunk is None:
+            return {}
+        return {"small_threshold": chunk, "fragmentation_limit": chunk}
+
+    register_allocator(
+        "gmlake",
+        params=(
+            Param("chunk_size", int, 2 * MB, kind="size",
+                  doc="uniform physical chunk size (§3.1)"),
+            Param("small_threshold", int, 2 * MB, kind="size",
+                  doc="requests below this use the splitting small pool"),
+            Param("fragmentation_limit", int, 2 * MB, kind="size",
+                  doc="blocks below this are never split/stitched (§4.3)"),
+            Param("max_spool_blocks", int, 4096, aliases=("spool",),
+                  doc="LRU cap on cached stitched sBlocks (§4.3)"),
+            Param("va_oversubscription", float, 64.0, kind="float",
+                  doc="virtual-address budget, x device capacity"),
+            Param("stitch_after_split", bool, True, kind="bool",
+                  doc="re-fuse split halves into an sBlock (Fig. 9 S2)"),
+            Param("enable_stitch", bool, True, kind="bool",
+                  aliases=("stitching",),
+                  doc="virtual memory stitching on/off (ablation)"),
+        ),
+        config_cls=GMLakeConfig,
+        paper_section="§3–§4",
+        description="GMLake: pooled VMM allocator with virtual memory stitching",
+        derive=gmlake_derive,
+    )(GMLakeAllocator)
+
+    register_allocator(
+        "caching",
+        aliases=("pytorch",),
+        paper_section="§2.2",
+        description="PyTorch best-fit caching allocator with split/coalesce (BFC)",
+    )(CachingAllocator)
+
+    register_allocator(
+        "native",
+        params=(
+            Param("op_amplification", int, 40,
+                  doc="CUDA calls one trace tensor stands for"),
+        ),
+        paper_section="§2.2",
+        description="one cudaMalloc/cudaFree per tensor (no pooling)",
+    )(NativeAllocator)
+
+    register_allocator(
+        "vmm-naive",
+        params=(
+            Param("chunk_size", int, 2 * MB, kind="size",
+                  doc="physical chunk size backing each allocation"),
+        ),
+        paper_section="§2.5",
+        description="unpooled VMM: full reserve/map per malloc, teardown per free",
+    )(VmmNaiveAllocator)
+
+    register_allocator(
+        "expandable",
+        paper_section="extension",
+        description="PyTorch expandable segments: growable VMM arenas, no stitching",
+    )(ExpandableSegmentsAllocator)
+
+
+_register_builtins()

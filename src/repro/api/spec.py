@@ -1,0 +1,209 @@
+"""``AllocatorSpec`` — one way to name a *configured* allocator.
+
+A spec is a canonical allocator name plus validated parameter values,
+parseable from a URL-query-style mini-DSL::
+
+    caching
+    gmlake?chunk_mb=512&stitching=off
+    gmlake?chunk_size=512MB&enable_stitch=false     # same thing
+    vmm-naive?chunk_size=64MB
+    native?op_amplification=1
+
+CLI flags, benchmark sweeps, JSON experiment files and the serving
+simulator all speak this one language, so a configured GMLake needs no
+Python-side factory code anywhere.  Specs round-trip losslessly through
+``to_dict``/``from_dict`` (JSON-safe) and :meth:`spec_string`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Union
+
+from repro.allocators.base import BaseAllocator
+from repro.api.registry import (
+    AllocatorInfo,
+    Param,
+    SpecError,
+    get_allocator_info,
+)
+from repro.gpu.device import GpuDevice
+from repro.units import MB, parse_size
+
+_BOOL_WORDS = {
+    "1": True, "true": True, "yes": True, "on": True,
+    "0": False, "false": False, "no": False, "off": False,
+}
+
+
+def _parse_value(info: AllocatorInfo, param: Param, raw: Any, scale: float) -> Any:
+    """Coerce one raw spec value to the parameter's declared type."""
+    try:
+        if param.kind == "bool":
+            if isinstance(raw, bool):
+                return raw
+            word = str(raw).strip().lower()
+            if word not in _BOOL_WORDS:
+                raise ValueError(f"expected on/off/true/false, got {raw!r}")
+            return _BOOL_WORDS[word]
+        if param.kind == "size":
+            if isinstance(raw, str) and not raw.strip().replace(".", "", 1).isdigit():
+                value = parse_size(raw)
+            else:
+                value = int(float(raw) * scale)
+            if value <= 0:
+                raise ValueError("sizes must be positive")
+            return value
+        if param.kind == "int":
+            value = int(str(raw), 0)
+            return value
+        if param.kind == "float":
+            return float(raw)
+        return str(raw)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(
+            f"bad value {raw!r} for {info.name} parameter "
+            f"{param.name!r} ({param.type_name}): {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class AllocatorSpec:
+    """A validated, immutable (allocator, parameters) pair.
+
+    ``params`` holds only *explicitly set* parameters, keyed by their
+    canonical names — defaults are left to the allocator so a spec
+    stays minimal and stable under serialization.
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        info = get_allocator_info(self.name)  # raises on unknown name
+        object.__setattr__(self, "name", info.name)
+        validated = {}
+        for key, raw in self.params.items():
+            param, scale = info.find_param(str(key))
+            if param.name in validated:
+                raise SpecError(
+                    f"parameter {param.name!r} set twice in {self.name} spec "
+                    f"(key {key!r} is an alias)"
+                )
+            validated[param.name] = _parse_value(info, param, raw, scale)
+        object.__setattr__(self, "params", validated)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: Union[str, "AllocatorSpec"]) -> "AllocatorSpec":
+        """Parse ``"name"`` or ``"name?key=value&key=value"``."""
+        if isinstance(text, AllocatorSpec):
+            return text
+        text = text.strip()
+        if not text:
+            raise SpecError("empty allocator spec")
+        name, _, query = text.partition("?")
+        params: Dict[str, Any] = {}
+        if query:
+            for item in query.split("&"):
+                if not item:
+                    continue
+                key, sep, value = item.partition("=")
+                if not sep or not key:
+                    raise SpecError(
+                        f"malformed allocator spec item {item!r} in {text!r} "
+                        "(expected key=value)"
+                    )
+                if key in params:
+                    raise SpecError(f"duplicate parameter {key!r} in {text!r}")
+                params[key] = value
+        return cls(name, params)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AllocatorSpec":
+        """Inverse of :meth:`to_dict`."""
+        if "name" not in data:
+            raise SpecError(f"allocator spec dict needs a 'name': {data!r}")
+        unknown = set(data) - {"name", "params"}
+        if unknown:
+            raise SpecError(f"unknown allocator spec keys {sorted(unknown)}")
+        return cls(str(data["name"]), dict(data.get("params") or {}))
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation; round-trips via :meth:`from_dict`."""
+        out: Dict[str, Any] = {"name": self.name}
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    def spec_string(self) -> str:
+        """The canonical mini-DSL string; ``parse`` round-trips it."""
+        if not self.params:
+            return self.name
+        info = self.info
+        items = []
+        for key, value in sorted(self.params.items()):
+            param, _ = info.find_param(key)
+            if isinstance(value, bool):
+                rendered = str(value).lower()
+            elif param.kind == "size" and value % MB == 0:
+                rendered = f"{value // MB}MB"
+            else:
+                rendered = str(value)
+            items.append(f"{key}={rendered}")
+        return f"{self.name}?{'&'.join(items)}"
+
+    @property
+    def label(self) -> str:
+        """Short display label for tables (name, or name+params)."""
+        return self.spec_string()
+
+    # ------------------------------------------------------------------
+    # Use
+    # ------------------------------------------------------------------
+    @property
+    def info(self) -> AllocatorInfo:
+        """The registry entry this spec builds."""
+        return get_allocator_info(self.name)
+
+    def resolved_params(self) -> Dict[str, Any]:
+        """Full parameter dict: defaults overlaid with this spec's values."""
+        info = self.info
+        resolved = {p.name: p.default for p in info.params}
+        resolved.update(info.resolve_params(self.params))
+        return resolved
+
+    def build(self, device: GpuDevice) -> BaseAllocator:
+        """Instantiate the configured allocator on ``device``."""
+        return self.info.build(device, self.params)
+
+    def __str__(self) -> str:
+        return self.spec_string()
+
+
+#: Anything the toolkit accepts where an allocator is named: a spec
+#: string, a parsed spec, or a bare ``device -> allocator`` callable.
+AllocatorLike = Union[str, AllocatorSpec, Callable[[GpuDevice], BaseAllocator]]
+
+
+def resolve_allocator(kind: AllocatorLike, device: GpuDevice) -> BaseAllocator:
+    """Build an allocator from a spec string, spec, or factory callable."""
+    if isinstance(kind, AllocatorSpec):
+        return kind.build(device)
+    if callable(kind):
+        return kind(device)
+    return AllocatorSpec.parse(kind).build(device)
+
+
+def spec_label(kind: AllocatorLike) -> Optional[str]:
+    """Display label for ``kind`` when derivable (None for callables)."""
+    if isinstance(kind, AllocatorSpec):
+        return kind.label
+    if isinstance(kind, str):
+        return AllocatorSpec.parse(kind).label
+    return None

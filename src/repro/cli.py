@@ -2,21 +2,28 @@
 
 Commands
 --------
-compare          Run one workload under several allocators side by side.
+compare          Run one workload under several allocator specs side by side.
+run              Run a JSON experiment file (any mode) via ``repro.api``.
 sweep            Sweep one axis (strategies / gpus / batch) of a workload.
 trace            Generate a workload's allocation trace to a JSONL file.
-replay           Replay a JSONL trace against an allocator.
+replay           Replay a JSONL trace against an allocator spec.
 serve            Online serving simulation with live admission control.
 microbench       Print the Figure 6 / Table 1 VMM latency tables.
 models           List the model registry.
-list-allocators  List the allocator registry with descriptions.
+list-allocators  List the allocator registry with tunable parameters.
+
+Anywhere an allocator is named, the full :class:`repro.api.AllocatorSpec`
+mini-DSL works — ``gmlake?chunk_mb=512&stitching=off`` configures GMLake
+without any Python-side factory code.
 
 Examples
 --------
-python -m repro compare --model opt-13b --batch 4 --gpus 4 --strategies LR
+python -m repro compare --model opt-13b --batch 4 --gpus 4 --strategies LR \\
+    --allocators "caching,gmlake?chunk_mb=512&stitching=off"
+python -m repro run --spec experiment.json
 python -m repro sweep --axis gpus --model opt-13b --values 1,2,4,8,16
 python -m repro trace --model gpt-2 --batch 8 --out /tmp/gpt2.jsonl
-python -m repro replay --in /tmp/gpt2.jsonl --allocator gmlake
+python -m repro replay --in /tmp/gpt2.jsonl --allocator "gmlake?spool=64"
 python -m repro serve --model opt-13b --arrival poisson --rate 2.0 \\
     --allocator gmlake
 """
@@ -34,6 +41,15 @@ from repro.analysis.experiments import (
     strategy_sweep,
 )
 from repro.analysis.serving import format_serving_summary
+from repro.api import (
+    AllocatorSpec,
+    ExperimentSpec,
+    SpecError,
+    allocator_names,
+    iter_allocators,
+    run_result_row,
+)
+from repro.api import run as run_experiment
 from repro.errors import AllocatorError
 from repro.gpu.device import GpuDevice
 from repro.serve import (
@@ -48,7 +64,7 @@ from repro.serve import (
     run_serving,
     run_serving_cluster,
 )
-from repro.sim.engine import ALLOCATOR_FACTORIES, make_allocator, run_trace, run_workload
+from repro.sim.engine import run_trace, run_workload
 from repro.units import GB, MB, parse_size
 from repro.workloads import MODELS, TrainingWorkload
 from repro.workloads.traceio import load_trace, save_trace
@@ -77,29 +93,47 @@ def _workload_from(args: argparse.Namespace) -> TrainingWorkload:
     )
 
 
-def _result_row(name: str, result) -> dict:
-    return {
-        "allocator": name,
-        "reserved (GB)": round(result.peak_reserved_gb, 2),
-        "active (GB)": round(result.peak_active_gb, 2),
-        "utilization": round(result.utilization_ratio, 3),
-        "samples/s": round(result.throughput_samples_per_s, 2),
-        "OOM": result.oom,
-    }
+def _parse_spec_list(text: str) -> List[AllocatorSpec]:
+    """Parse a comma-separated list of allocator spec strings."""
+    specs = [AllocatorSpec.parse(item)
+             for item in text.split(",") if item.strip()]
+    if not specs:
+        raise SpecError(f"no allocator specs in {text!r}")
+    return specs
 
 
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
+def _run_spec_file(path: str) -> int:
+    """Run a JSON ``ExperimentSpec`` file and print the uniform table."""
+    spec = ExperimentSpec.load(path)
+    results = run_experiment(spec)
+    rows = [run_result_row(result) for result in results]
+    print(format_table(rows, title=f"experiment: mode={spec.mode}"))
+    for result in results:
+        extras = ", ".join(f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+                           for k, v in result.extras().items())
+        print(f"  {result.allocator_name}: {extras}")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
+    if args.spec:
+        return _run_spec_file(args.spec)
     workload = _workload_from(args)
-    names = [n.strip() for n in args.allocators.split(",") if n.strip()]
     rows = []
-    for name in names:
-        result = run_workload(workload, name, capacity=args.capacity)
-        rows.append(_result_row(name, result))
+    for spec in _parse_spec_list(args.allocators):
+        result = run_workload(workload, spec, capacity=args.capacity)
+        row = run_result_row(result)
+        row["allocator"] = spec.label
+        rows.append(row)
     print(format_table(rows, title=f"workload: {workload.label}"))
     return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    return _run_spec_file(args.spec)
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -155,7 +189,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_replay(args: argparse.Namespace) -> int:
     trace = load_trace(args.infile)
     device = GpuDevice(capacity=args.capacity)
-    allocator = make_allocator(args.allocator, device)
+    allocator = AllocatorSpec.parse(args.allocator).build(device)
     result = run_trace(allocator, trace)
     print(result.summary())
     return 0
@@ -177,6 +211,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.spec:
+        return _run_spec_file(args.spec)
     if args.arrival == "poisson":
         arrivals = PoissonArrivals(rate_per_s=args.rate)
     elif args.arrival == "mmpp":
@@ -204,21 +240,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            queue_timeout_s=args.timeout)
     slo = SloConfig(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
 
-    names = [n.strip() for n in args.allocator.split(",") if n.strip()]
     reports = {}
-    for name in names:
+    for spec in _parse_spec_list(args.allocator):
         # Regenerate per allocator: the simulator mutates the requests.
         stream = arrivals.generate(n_requests, lengths, seed=args.seed)
         if args.gpus > 1:
             result = run_serving_cluster(
-                stream, args.model, n_replicas=args.gpus, allocator=name,
+                stream, args.model, n_replicas=args.gpus, allocator=spec,
                 capacity=args.capacity, scheduler=args.scheduler,
                 config=config)
         else:
             result = run_serving(
-                stream, args.model, allocator=name, capacity=args.capacity,
+                stream, args.model, allocator=spec, capacity=args.capacity,
                 scheduler=args.scheduler, config=config)
-        reports[name] = result.report(slo)
+        reports[spec.label] = result.report(slo)
 
     shape = (args.arrival if args.arrival == "replay"
              else f"{args.arrival} rate={args.rate:g}/s")
@@ -230,22 +265,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_list_allocators(args: argparse.Namespace) -> int:
     del args
-    rows = []
-    canonical = {}
-    for name, factory in ALLOCATOR_FACTORIES.items():
-        canonical.setdefault(factory, []).append(name)
-    for factory, names in canonical.items():
-        primary, *aliases = sorted(
-            names, key=lambda n: list(ALLOCATOR_FACTORIES).index(n))
-        doc = (factory.__doc__ or "").strip().splitlines()
-        rows.append({
-            "name": primary,
-            "aliases": ",".join(aliases) or "-",
-            "class": factory.__name__,
-            "description": doc[0] if doc else "-",
-        })
+    rows = [
+        {
+            "name": info.name,
+            "aliases": ",".join(info.aliases) or "-",
+            "class": info.cls.__name__,
+            "paper": info.paper_section or "-",
+            "description": info.description,
+        }
+        for info in iter_allocators()
+    ]
     rows.sort(key=lambda r: r["name"])
     print(format_table(rows, title="allocator registry"))
+
+    params = [
+        {
+            "allocator": info.name,
+            "parameter": param.name,
+            "type": param.type_name,
+            "default": param.default_str(),
+            "spec keys": ",".join(k for k in param.keys if k != param.name) or "-",
+            "description": param.doc or "-",
+        }
+        for info in sorted(iter_allocators(), key=lambda i: i.name)
+        for param in info.params
+    ]
+    if params:
+        print()
+        print(format_table(
+            params,
+            title='tunable parameters (spec syntax: "name?key=value&key=value")',
+        ))
     return 0
 
 
@@ -296,10 +346,21 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="run one workload under allocators")
     _add_workload_args(p)
     p.add_argument("--allocators", default="caching,gmlake",
-                   help=f"comma list of {sorted(ALLOCATOR_FACTORIES)}")
+                   help="comma list of allocator specs, e.g. "
+                        "'caching,gmlake?chunk_mb=512&stitching=off' "
+                        f"(names: {allocator_names()})")
     p.add_argument("--capacity", type=parse_size, default=80 * GB,
                    help="device memory, e.g. 80GB")
+    p.add_argument("--spec", default="",
+                   help="run a JSON ExperimentSpec file instead "
+                        "(all other flags ignored)")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("run", help="run a JSON experiment file")
+    p.add_argument("--spec", required=True,
+                   help="path to an ExperimentSpec JSON file "
+                        "(see repro.api.ExperimentSpec)")
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep one workload axis")
     _add_workload_args(p)
@@ -317,7 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("replay", help="replay a JSONL trace")
     p.add_argument("--in", dest="infile", required=True)
     p.add_argument("--allocator", default="gmlake",
-                   choices=sorted(ALLOCATOR_FACTORIES))
+                   help=f"allocator spec (names: {allocator_names()})")
     p.add_argument("--capacity", type=parse_size, default=80 * GB)
     p.set_defaults(func=cmd_replay)
 
@@ -337,7 +398,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--requests", type=int, default=100,
                    help="number of requests to serve")
     p.add_argument("--allocator", default="gmlake",
-                   help=f"comma list of {sorted(ALLOCATOR_FACTORIES)}")
+                   help="comma list of allocator specs "
+                        f"(names: {allocator_names()})")
     p.add_argument("--scheduler", default="memory-aware",
                    choices=sorted(SCHEDULER_FACTORIES))
     p.add_argument("--gpus", type=int, default=1,
@@ -355,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-tpot", type=float, default=0.05,
                    help="time-per-output-token SLO, seconds")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--spec", default="",
+                   help="run a JSON ExperimentSpec file instead "
+                        "(all other flags ignored)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("microbench", help="VMM latency tables")
@@ -373,7 +438,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SpecError as exc:
+        # A malformed allocator/experiment spec is a user error.
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"{args.command}: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -307,7 +307,7 @@ class GMLakeAllocator(BaseAllocator):
             pblock.destroy(self.device)
         self._small.empty_cache()
 
-    def empty_cache(self) -> None:
+    def _empty_cache_impl(self) -> None:
         """Release all cached (inactive) memory back to the device."""
         self._reclaim()
         self.counters.reclaims -= 1  # user-requested, not an OOM event

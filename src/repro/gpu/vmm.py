@@ -27,7 +27,7 @@ Table 1 breakdown are measured.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.errors import CudaInvalidAddressError, CudaInvalidValueError

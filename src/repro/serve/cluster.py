@@ -15,8 +15,10 @@ and SLO metrics are computed over the merged request population.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
+from repro.api.result import WorstMemberRunResult
+from repro.api.spec import AllocatorLike
 from repro.serve.metrics import ServingReport, SloConfig
 from repro.serve.request import ServeRequest
 from repro.serve.scheduler import Scheduler
@@ -55,7 +57,7 @@ def dispatch_requests(
 
 
 @dataclass
-class ServeClusterResult:
+class ServeClusterResult(WorstMemberRunResult):
     """Aggregated outcome of one multi-replica serving run."""
 
     replicas: List[ServingResult] = field(default_factory=list)
@@ -85,6 +87,31 @@ class ServeClusterResult:
         """The worst replica's reserved peak (capacity planning view)."""
         return max(r.peak_reserved_gb for r in self.replicas)
 
+    # -- the :class:`repro.api.RunResult` shared surface ---------------
+    # Memory figures delegate to WorstMemberRunResult (worst replica).
+    def _result_members(self) -> List[ServingResult]:
+        return self.replicas
+
+    @property
+    def throughput(self) -> float:
+        """Fleet-wide completed requests per second of makespan."""
+        done = sum(r.completed for r in self.replicas)
+        return done / max(self.makespan_s, 1e-9)
+
+    @property
+    def oom(self) -> bool:
+        return False
+
+    def extras(self) -> Dict[str, object]:
+        """Fleet-specific metrics beyond the shared surface."""
+        return {
+            "n_replicas": self.n_replicas,
+            "completed": sum(r.completed for r in self.replicas),
+            "rejected": sum(r.rejected for r in self.replicas),
+            "preemptions": sum(r.preemptions for r in self.replicas),
+            "makespan_s": self.makespan_s,
+        }
+
     def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
         """Fleet-wide SLO report over the merged request population."""
         return ServingReport.from_requests(
@@ -103,7 +130,7 @@ def run_serving_cluster(
     requests: Iterable[ServeRequest],
     model: Union[ModelSpec, str],
     n_replicas: int = 2,
-    allocator: Union[str, AllocatorFactory] = "gmlake",
+    allocator: Union[AllocatorLike, AllocatorFactory] = "gmlake",
     capacity: int = A100_80GB,
     scheduler: Union[str, Scheduler] = "fcfs",
     config: Optional[ServingConfig] = None,

@@ -130,7 +130,8 @@ class MemoryAwareScheduler(Scheduler):
         return None
 
 
-#: Named scheduler factories, mirroring ``ALLOCATOR_FACTORIES``.
+#: Named scheduler factories (the allocator equivalent lives in
+#: :mod:`repro.api.registry`).
 SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
     "fcfs": FcfsScheduler,
     "shortest-prompt": ShortestPromptScheduler,

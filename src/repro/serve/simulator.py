@@ -28,14 +28,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.allocators.stats import AllocatorStats
+from repro.api.spec import AllocatorLike, resolve_allocator
 from repro.gpu.device import GpuDevice
 from repro.serve.request import RequestState, ServeRequest
 from repro.serve.metrics import ServingReport, SloConfig
 from repro.serve.scheduler import Scheduler, SchedulerView, make_scheduler
-from repro.sim.engine import AllocatorFactory, ReplaySession, make_allocator
+from repro.sim.engine import AllocatorFactory, ReplaySession
 from repro.sim.timeline import TimelinePoint
 from repro.units import A100_80GB, GB, align_up
 from repro.workloads.inference import (
@@ -131,6 +132,43 @@ class ServingResult:
     def peak_reserved_gb(self) -> float:
         return self.stats.peak_reserved_bytes / GB
 
+    # -- the :class:`repro.api.RunResult` shared surface ---------------
+    @property
+    def peak_active_bytes(self) -> int:
+        return self.stats.peak_active_bytes
+
+    @property
+    def peak_reserved_bytes(self) -> int:
+        return self.stats.peak_reserved_bytes
+
+    @property
+    def utilization_ratio(self) -> float:
+        return self.stats.utilization_ratio
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        return self.stats.fragmentation_ratio
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of makespan."""
+        return self.completed / max(self.makespan_s, 1e-9)
+
+    @property
+    def oom(self) -> bool:
+        """Serving preempts instead of crashing; an OOM surfaces as
+        preemptions and rejections, never as a failed run."""
+        return False
+
+    def extras(self) -> Dict[str, object]:
+        """Serving-specific metrics beyond the shared surface."""
+        return {
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "preemptions": self.preemptions,
+            "makespan_s": self.makespan_s,
+        }
+
     def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
         """Aggregate SLO metrics for this replica's request population."""
         return ServingReport.from_requests(
@@ -146,7 +184,7 @@ class ServingSimulator:
     def __init__(
         self,
         model: Union[ModelSpec, str],
-        allocator: Union[str, AllocatorFactory] = "gmlake",
+        allocator: Union[AllocatorLike, AllocatorFactory] = "gmlake",
         capacity: int = A100_80GB,
         scheduler: Union[str, Scheduler] = "fcfs",
         config: Optional[ServingConfig] = None,
@@ -157,7 +195,7 @@ class ServingSimulator:
         self.capacity = capacity
         self.replica_id = replica_id
         self.device = GpuDevice(capacity=capacity)
-        self.allocator = make_allocator(allocator, self.device)
+        self.allocator = resolve_allocator(allocator, self.device)
         self.scheduler = make_scheduler(scheduler)
         self.session = ReplaySession(self.allocator)
         self._step_count = 0
@@ -405,7 +443,7 @@ class ServingSimulator:
 def run_serving(
     requests: Iterable[ServeRequest],
     model: Union[ModelSpec, str],
-    allocator: Union[str, AllocatorFactory] = "gmlake",
+    allocator: Union[AllocatorLike, AllocatorFactory] = "gmlake",
     capacity: int = A100_80GB,
     scheduler: Union[str, Scheduler] = "fcfs",
     config: Optional[ServingConfig] = None,

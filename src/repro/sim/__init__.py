@@ -16,7 +16,7 @@ from repro.sim.engine import (
     run_workload,
 )
 from repro.sim.metrics import ComparisonRow, compare_results, mem_reduction_ratio
-from repro.sim.timeline import TimelinePoint, render_timeline
+from repro.sim.timeline import TimelinePoint, TimelineRecorder, render_timeline
 
 __all__ = [
     "EngineResult",
@@ -30,5 +30,6 @@ __all__ = [
     "compare_results",
     "mem_reduction_ratio",
     "TimelinePoint",
+    "TimelineRecorder",
     "render_timeline",
 ]

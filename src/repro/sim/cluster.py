@@ -14,16 +14,18 @@ job does:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Union
+from typing import Dict, List, Union
 
-from repro.sim.engine import AllocatorFactory, EngineResult, make_allocator, run_trace
+from repro.api.result import WorstMemberRunResult
+from repro.api.spec import AllocatorLike, resolve_allocator
+from repro.sim.engine import AllocatorFactory, EngineResult, run_trace
 from repro.gpu.device import GpuDevice
 from repro.units import A100_80GB
 from repro.workloads.training import TrainingWorkload
 
 
 @dataclass
-class ClusterResult:
+class ClusterResult(WorstMemberRunResult):
     """Aggregated outcome of one multi-rank run."""
 
     ranks: List[EngineResult] = field(default_factory=list)
@@ -57,6 +59,23 @@ class ClusterResult:
         """Synchronous training runs at the slowest rank's pace."""
         return min(r.throughput_samples_per_s for r in self.ranks)
 
+    # -- the :class:`repro.api.RunResult` shared surface ---------------
+    # Memory figures delegate to WorstMemberRunResult (worst rank).
+    def _result_members(self) -> List[EngineResult]:
+        return self.ranks
+
+    @property
+    def throughput(self) -> float:
+        return self.throughput_samples_per_s
+
+    def extras(self) -> Dict[str, object]:
+        """Cluster-specific metrics beyond the shared surface."""
+        return {
+            "n_ranks": self.n_ranks,
+            "min_utilization": self.min_utilization,
+            "mean_utilization": self.mean_utilization,
+        }
+
     def summary(self) -> str:
         """One-line fleet report."""
         oom = " OOM" if self.oom else ""
@@ -70,20 +89,23 @@ class ClusterResult:
 
 def run_cluster(
     workload: TrainingWorkload,
-    allocator: Union[str, AllocatorFactory] = "caching",
+    allocator: Union[AllocatorLike, AllocatorFactory] = "caching",
     capacity: int = A100_80GB,
+    record_timeline: bool = False,
 ) -> ClusterResult:
     """Simulate every rank of ``workload`` on its own device.
 
     Each rank replays the same workload with a rank-salted seed, so
     strategy-induced irregularity (offload buckets, sequence jitter if
     enabled) diverges slightly across ranks, as on a real cluster.
+    With ``record_timeline`` every rank carries its own memory timeline.
     """
     result = ClusterResult()
     for rank in range(workload.n_gpus):
         rank_workload = replace(workload, seed=workload.seed + 1009 * rank)
         trace = rank_workload.build_trace()
         device = GpuDevice(capacity=capacity)
-        rank_result = run_trace(make_allocator(allocator, device), trace)
+        rank_result = run_trace(resolve_allocator(allocator, device), trace,
+                                record_timeline=record_timeline)
         result.ranks.append(rank_result)
     return result

@@ -21,47 +21,59 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.allocators.base import Allocation, BaseAllocator
-from repro.allocators.caching import CachingAllocator
-from repro.allocators.expandable import ExpandableSegmentsAllocator
-from repro.allocators.native import NativeAllocator
-from repro.allocators.vmm_naive import VmmNaiveAllocator
+from repro.api.registry import allocator_names, get_allocator_info
+from repro.api.spec import AllocatorLike, resolve_allocator
 from repro.core.allocator import GMLakeAllocator
 from repro.core.config import GMLakeConfig
 from repro.errors import OutOfMemoryError
 from repro.gpu.device import GpuDevice
-from repro.sim.timeline import TimelinePoint
+from repro.sim.timeline import TimelinePoint, TimelineRecorder
 from repro.units import A100_80GB, GB
 from repro.workloads.request import Op, Trace
 from repro.workloads.training import TrainingWorkload
 
 AllocatorFactory = Callable[[GpuDevice], BaseAllocator]
 
-#: Named allocator factories accepted everywhere a factory is.
+#: Deprecated shim — the allocator catalogue now lives in
+#: :mod:`repro.api.registry`; this dict mirrors it (aliases included)
+#: for callers that predate :class:`repro.api.AllocatorSpec`.
 ALLOCATOR_FACTORIES: Dict[str, AllocatorFactory] = {
-    "caching": CachingAllocator,
-    "pytorch": CachingAllocator,  # alias: the PyTorch baseline
-    "gmlake": GMLakeAllocator,
-    "native": NativeAllocator,
-    "vmm-naive": VmmNaiveAllocator,
-    "expandable": ExpandableSegmentsAllocator,
+    name: get_allocator_info(name).cls
+    for name in allocator_names(include_aliases=True)
 }
 
 
 def make_allocator(
-    kind: Union[str, AllocatorFactory], device: GpuDevice
+    kind: Union[AllocatorLike, AllocatorFactory], device: GpuDevice
 ) -> BaseAllocator:
-    """Instantiate an allocator by name or factory on ``device``."""
-    if callable(kind):
-        return kind(device)
-    key = kind.lower()
-    if key not in ALLOCATOR_FACTORIES:
-        known = ", ".join(sorted(ALLOCATOR_FACTORIES))
-        raise KeyError(f"unknown allocator {kind!r}; known: {known}")
-    return ALLOCATOR_FACTORIES[key](device)
+    """Instantiate an allocator by spec, name, or factory on ``device``.
+
+    .. deprecated::
+        Thin shim over :func:`repro.api.resolve_allocator`; new code
+        should build allocators from a :class:`repro.api.AllocatorSpec`.
+        Kept because the name/factory calling convention predates the
+        registry.  Unknown names still raise :class:`KeyError`.
+    """
+    return resolve_allocator(kind, device)
 
 
 def gmlake_factory(config: GMLakeConfig) -> AllocatorFactory:
-    """A factory for GMLake with a specific config (ablation benches)."""
+    """A factory for GMLake with a specific config.
+
+    .. deprecated::
+        Use an :class:`repro.api.AllocatorSpec` instead, e.g.
+        ``AllocatorSpec("gmlake", {"chunk_size": 512 * MB})`` or the
+        spec string ``"gmlake?chunk_mb=512"`` — both carry the config
+        through CLI flags and JSON experiment files, which a closure
+        cannot.
+    """
+    import warnings
+
+    warnings.warn(
+        "gmlake_factory is deprecated; use repro.api.AllocatorSpec "
+        "(e.g. 'gmlake?chunk_mb=512')",
+        DeprecationWarning, stacklevel=2,
+    )
     return lambda device: GMLakeAllocator(device, config)
 
 
@@ -106,6 +118,22 @@ class EngineResult:
     def peak_active_gb(self) -> float:
         """Peak active memory in GB."""
         return self.peak_active_bytes / GB
+
+    @property
+    def throughput(self) -> float:
+        """Training samples/s — the :class:`repro.api.RunResult` name."""
+        return self.throughput_samples_per_s
+
+    def extras(self) -> Dict[str, object]:
+        """Replay-specific metrics beyond the shared
+        :class:`repro.api.RunResult` surface."""
+        return {
+            "iterations_completed": self.iterations_completed,
+            "oom_iteration": self.oom_iteration,
+            "total_time_s": self.total_time_s,
+            "driver_time_us": self.driver_time_us,
+            "malloc_count": self.malloc_count,
+        }
 
     def summary(self) -> str:
         """One-line report used by the benches."""
@@ -215,6 +243,10 @@ def run_trace(
     An allocator OOM aborts the replay (like the training job crashing)
     and is recorded in the result rather than raised — batch-size sweeps
     (Fig. 13) and the memory trace (Fig. 14) rely on observing it.
+
+    Timeline capture subscribes to the allocator's event hooks
+    (:class:`~repro.sim.timeline.TimelineRecorder`) rather than being
+    baked into this loop; ``timeline_every`` counts alloc/free events.
     """
     session = ReplaySession(allocator)
     clock = session.clock
@@ -222,12 +254,14 @@ def run_trace(
         allocator_name=allocator.name,
         meta=dict(trace.meta),
     )
+    recorder: Optional[TimelineRecorder] = None
+    if record_timeline:
+        recorder = allocator.add_observer(
+            TimelineRecorder(allocator, every=timeline_every))
     iter_start_s = session.start_s
     current_iter = 0
-    event_index = 0
 
     for event in trace.events:
-        event_index += 1
         if event.op is Op.ALLOC:
             if not session.try_alloc(event.tensor, event.size):
                 result.oom = True
@@ -245,11 +279,11 @@ def run_trace(
                 clock.advance(compute_list[current_iter])
             result.iterations_completed += 1
             result.iter_times_s.append(clock.now_s - iter_start_s)
-        if record_timeline and event_index % timeline_every == 0:
-            session.sample()
 
-    if record_timeline:
-        session.sample()
+    if recorder is not None:
+        recorder.sample(allocator)
+        allocator.remove_observer(recorder)
+        session.timeline = recorder.points
     session.finish(result)
     global_batch = int(trace.meta.get("global_batch", 0) or 0)
     if result.iterations_completed > 0 and global_batch:
@@ -266,12 +300,17 @@ def run_trace(
 
 def run_workload(
     workload: TrainingWorkload,
-    allocator: Union[str, AllocatorFactory] = "caching",
+    allocator: Union[AllocatorLike, AllocatorFactory] = "caching",
     capacity: int = A100_80GB,
     record_timeline: bool = False,
 ) -> EngineResult:
-    """Build the workload's trace and replay it on a fresh device."""
+    """Build the workload's trace and replay it on a fresh device.
+
+    ``allocator`` is anything :func:`repro.api.resolve_allocator`
+    accepts: a name, a spec string (``"gmlake?chunk_mb=512"``), an
+    :class:`repro.api.AllocatorSpec`, or a factory callable.
+    """
     device = GpuDevice(capacity=capacity)
-    alloc = make_allocator(allocator, device)
+    alloc = resolve_allocator(allocator, device)
     trace = workload.build_trace()
     return run_trace(alloc, trace, record_timeline=record_timeline)

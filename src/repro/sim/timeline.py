@@ -1,8 +1,10 @@
 """Memory-over-time sampling — the data behind the paper's Figure 14.
 
-The engine records ``(time, active, reserved)`` samples as it replays a
-trace; :func:`render_timeline` draws the two curves as ASCII so benches
-can print the memory-trace figure in a terminal.
+:class:`TimelineRecorder` subscribes to an allocator's event hooks
+(:class:`~repro.allocators.base.AllocatorObserver`) and records
+``(time, active, reserved)`` samples as the allocator works — no replay
+loop involvement needed; :func:`render_timeline` draws the two curves
+as ASCII so benches can print the memory-trace figure in a terminal.
 """
 
 from __future__ import annotations
@@ -10,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.allocators.base import Allocation, AllocatorObserver, BaseAllocator
 from repro.units import GB
 
 
@@ -20,6 +23,54 @@ class TimelinePoint:
     time_s: float
     active_bytes: int
     reserved_bytes: int
+
+
+class TimelineRecorder(AllocatorObserver):
+    """Observer that samples an allocator's memory curve on its events.
+
+    Attach with ``allocator.add_observer(TimelineRecorder(allocator))``
+    (or let ``run_trace(record_timeline=True)`` do it): every ``every``
+    alloc/free events — and on every OOM and ``empty_cache``, which are
+    exactly the cliffs Figure 14 cares about — one
+    :class:`TimelinePoint` is appended to :attr:`points`.  Time is
+    measured from the recorder's attach point on the allocator's own
+    simulated clock.
+    """
+
+    def __init__(self, allocator: BaseAllocator, every: int = 32):
+        if every <= 0:
+            raise ValueError(f"every must be positive, got {every}")
+        self.every = every
+        self._clock = allocator.device.clock
+        self.start_s = self._clock.now_s
+        self.points: List[TimelinePoint] = []
+        self._events = 0
+
+    def sample(self, allocator: BaseAllocator) -> None:
+        """Append one point at the allocator's current state."""
+        self.points.append(TimelinePoint(
+            time_s=self._clock.now_s - self.start_s,
+            active_bytes=allocator.active_bytes,
+            reserved_bytes=allocator.reserved_bytes,
+        ))
+
+    def _tick(self, allocator: BaseAllocator) -> None:
+        self._events += 1
+        if self._events % self.every == 0:
+            self.sample(allocator)
+
+    # -- AllocatorObserver hooks ---------------------------------------
+    def on_alloc(self, allocator: BaseAllocator, allocation: Allocation) -> None:
+        self._tick(allocator)
+
+    def on_free(self, allocator: BaseAllocator, allocation: Allocation) -> None:
+        self._tick(allocator)
+
+    def on_empty_cache(self, allocator: BaseAllocator) -> None:
+        self.sample(allocator)
+
+    def on_oom(self, allocator: BaseAllocator, size: int, error) -> None:
+        self.sample(allocator)
 
 
 def downsample(points: Sequence[TimelinePoint], max_points: int) -> List[TimelinePoint]:

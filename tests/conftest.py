@@ -4,7 +4,7 @@ import pytest
 
 from repro import GMLakeAllocator, GpuDevice
 from repro.allocators import CachingAllocator, NativeAllocator, VmmNaiveAllocator
-from repro.units import GB, MB
+from repro.units import GB
 
 
 @pytest.fixture

@@ -1,7 +1,5 @@
 """Tests for Algorithm 1 (BestFit) as a pure function."""
 
-import pytest
-
 from repro.core.bestfit import FitState, best_fit
 
 

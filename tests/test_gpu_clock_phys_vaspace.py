@@ -10,7 +10,7 @@ from repro.errors import (
 from repro.gpu.clock import SimClock
 from repro.gpu.phys import PhysicalMemory
 from repro.gpu.vaspace import VirtualAddressSpace
-from repro.units import GB, MB
+from repro.units import MB
 
 
 class TestSimClock:

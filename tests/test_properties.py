@@ -1,14 +1,13 @@
 """Property-based tests: allocator correctness under arbitrary request
 sequences (hypothesis drives alloc/free interleavings)."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.allocators import CachingAllocator, VmmNaiveAllocator
-from repro.core import GMLakeAllocator, GMLakeConfig
+from repro.core import GMLakeAllocator
 from repro.errors import OutOfMemoryError
 from repro.gpu.device import GpuDevice
-from repro.units import GB, KB, MB
+from repro.units import GB, MB
 
 # Each step is (is_alloc, size_selector, free_index_selector).
 STEP = st.tuples(

@@ -16,9 +16,8 @@ from repro.serve import (
     run_serving,
 )
 from repro.serve.request import RequestState, ServeRequest
-from repro.units import GB, MB
+from repro.units import MB
 from repro.workloads import get_model
-from repro.workloads.inference import kv_bytes
 
 
 def make_request(req_id, arrival, prompt, output):

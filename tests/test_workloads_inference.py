@@ -5,9 +5,8 @@ import pytest
 from repro.sim import run_workload
 from repro.sim.engine import make_allocator, run_trace
 from repro.gpu.device import GpuDevice
-from repro.units import GB
 from repro.workloads import TrainingWorkload, ZeroConfig, get_model
-from repro.workloads.inference import DECODE_TOKENS_PER_S, ServingWorkload, kv_bytes
+from repro.workloads.inference import ServingWorkload, kv_bytes
 
 
 class TestKvBytes:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.units import MB
 from repro.workloads import MODELS, get_model
-from repro.workloads.models import ModelSpec
 
 
 class TestRegistry:

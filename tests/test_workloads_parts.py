@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.units import GB, MB
+from repro.units import MB
 from repro.workloads import StrategySet, ZeroConfig, get_model, shard_bytes
 from repro.workloads.platforms import Platform, profile_for, round_gather
 from repro.workloads.strategies import LORA_RANKS

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.units import GB, MB
+from repro.units import GB
 from repro.workloads import StrategySet, TrainingWorkload, estimate_compute_us, get_model
 from repro.workloads.request import Op
 from repro.workloads.training import OPTIMIZER_STATE_FACTOR, _trainable_bytes
