@@ -8,8 +8,9 @@ where the splitting allocator shreds its pool.
 """
 
 from repro.analysis import format_table
+from repro.api import resolve_allocator
 from repro.gpu.device import GpuDevice
-from repro.sim.engine import make_allocator, run_trace
+from repro.sim.engine import run_trace
 from repro.workloads.inference import ServingWorkload
 
 CELLS = [
@@ -25,7 +26,7 @@ def measure():
         trace = ServingWorkload(model, n_requests=150, max_batch=max_batch,
                                 seed=7).build_trace()
         out[(model, max_batch)] = {
-            name: run_trace(make_allocator(name, GpuDevice()), trace)
+            name: run_trace(resolve_allocator(name, GpuDevice()), trace)
             for name in ("caching", "expandable", "gmlake")
         }
     return out

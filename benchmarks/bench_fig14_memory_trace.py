@@ -8,9 +8,10 @@ both, but PyTorch's reserved memory sits far above its active memory
 ~4 iterations GMLake's allocation behaviour stabilizes.
 """
 
+from repro.api import resolve_allocator
 from repro.core.bestfit import FitState
 from repro.sim import render_timeline
-from repro.sim.engine import make_allocator, run_trace
+from repro.sim.engine import run_trace
 from repro.gpu.device import GpuDevice
 from repro.workloads import TrainingWorkload
 
@@ -22,10 +23,10 @@ def measure():
                                 strategies="LR", iterations=8)
     trace = workload.build_trace()
 
-    base_alloc = make_allocator("caching", GpuDevice())
+    base_alloc = resolve_allocator("caching", GpuDevice())
     base = run_trace(base_alloc, trace, record_timeline=True)
 
-    gml_alloc = make_allocator("gmlake", GpuDevice())
+    gml_alloc = resolve_allocator("gmlake", GpuDevice())
     gml = run_trace(gml_alloc, trace, record_timeline=True)
     return base, gml, gml_alloc
 

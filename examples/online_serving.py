@@ -41,6 +41,15 @@ def main() -> None:
                              capacity=capacity, config=config,
                              scheduler="memory-aware")
         reports[name] = result.report(slo)
+    # Cache-level defragmentation: vLLM-style paged KV blocks make the
+    # pool see a single allocation size, so even the splitting caching
+    # allocator stops fragmenting.
+    stream = PoissonArrivals(rate_per_s=rate).generate(n_requests, seed=1)
+    result = run_serving(stream, model, allocator="caching",
+                         capacity=capacity, config=config,
+                         scheduler="memory-aware",
+                         kv_cache="paged?block_tokens=16")
+    reports["caching+paged"] = result.report(slo)
     print(format_serving_summary(
         reports,
         title=f"{model}: {n_requests} req at {rate:g}/s on {capacity // GB} GB",

@@ -13,8 +13,9 @@ Run:  python examples/serving_inference.py [model] [requests]
 import sys
 
 from repro.analysis import format_table
+from repro.api import resolve_allocator
 from repro.gpu.device import GpuDevice
-from repro.sim.engine import make_allocator, run_trace
+from repro.sim.engine import run_trace
 from repro.workloads.inference import ServingWorkload
 
 
@@ -31,7 +32,7 @@ def main() -> None:
 
     rows = []
     for name in ("caching", "expandable", "gmlake"):
-        result = run_trace(make_allocator(name, GpuDevice()), trace)
+        result = run_trace(resolve_allocator(name, GpuDevice()), trace)
         rows.append({
             "allocator": name,
             "reserved (GB)": round(result.peak_reserved_gb, 2),

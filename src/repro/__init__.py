@@ -46,7 +46,9 @@ Two evaluation modes exist, split by who controls time:
   where admission *reacts* to live allocator state: arrival processes
   (:class:`~repro.serve.arrivals.PoissonArrivals`, MMPP, replay),
   pluggable schedulers (:data:`~repro.serve.scheduler.SCHEDULER_FACTORIES`),
-  chunked KV-cache growth, OOM preemption + requeue, and SLO metrics
+  pluggable KV-cache layouts (:mod:`repro.serve.kvcache` — ``chunked``
+  growth vs. vLLM-style ``paged`` block tables),
+  OOM preemption + requeue, and SLO metrics
   (TTFT / TPOT / tail latency / goodput).  Entry points:
   :func:`repro.serve.run_serving`, :func:`repro.serve.run_serving_cluster`,
   and ``python -m repro serve``.

@@ -61,3 +61,51 @@ def goodput_vs_rate_rows(
             row[f"preempt {name}"] = report.preemptions
         rows.append(row)
     return rows
+
+
+def defrag_comparison_rows(
+    results: Mapping[Any, Any],
+    slo: Optional[SloConfig] = None,
+) -> List[Dict[str, Any]]:
+    """One row per serving run, pool-level next to cache-level defrag.
+
+    ``results`` maps a display label to a
+    :class:`~repro.serve.simulator.ServingResult` (duck-typed — any
+    object with ``report()``, allocator/KV names, pool stats and
+    ``kv_metrics`` works).  Each row pairs the *pool* fragmentation the
+    allocator left (``pool frag``, 1 − utilization) with the *cache*
+    fragmentation the KV model left (``kv frag``, internal waste in
+    chunk/block tails), plus the copy traffic the layout cost — so a
+    table with gmlake+chunked, caching+chunked and paged rows answers
+    the head-to-head question: where did each strategy pay?
+    """
+    rows = []
+    for label, result in results.items():
+        report = result.report(slo)
+        kv = getattr(result, "kv_metrics", None)
+        rows.append({
+            "run": label,
+            "allocator": getattr(result, "allocator_name", "-"),
+            "kv": getattr(result, "kv_cache_name", "-"),
+            "goodput (req/s)": round(report.goodput_req_s, 3),
+            "SLO %": round(report.slo_attainment * 100.0, 1),
+            "preempt": report.preemptions,
+            "RM (GB)": round(result.peak_reserved_bytes / (1 << 30), 2),
+            "pool frag": round(result.fragmentation_ratio, 3),
+            "kv frag": round(kv.internal_frag_ratio, 3) if kv else "-",
+            "copy (MB)": round(
+                (kv.grow_copy_bytes + kv.preempt_copy_bytes) / (1 << 20), 1)
+            if kv else "-",
+        })
+    return rows
+
+
+def format_defrag_comparison(
+    results: Mapping[Any, Any],
+    title: Optional[str] = None,
+    slo: Optional[SloConfig] = None,
+) -> str:
+    """Render the pool-level vs. cache-level defragmentation table."""
+    if title is None:
+        title = "pool-level vs. cache-level defragmentation"
+    return format_table(defrag_comparison_rows(results, slo), title=title)

@@ -63,7 +63,14 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class ServingSpec:
-    """An online serving scenario (used by the ``serve`` mode)."""
+    """An online serving scenario (used by the ``serve`` mode).
+
+    ``kv_cache`` names the KV-cache memory model in the same mini-DSL
+    as allocators: ``"chunked"``, ``"chunked?chunk_tokens=128"``, or
+    ``"paged?block_tokens=16"`` (vLLM-style block tables — cache-level
+    defragmentation, the counterpoint to the allocators' pool-level
+    defragmentation).
+    """
 
     model: str = "opt-13b"
     arrival: str = "poisson"          # poisson | mmpp
@@ -79,7 +86,16 @@ class ServingSpec:
     replicas: int = 1
     slo_ttft_s: float = 2.0
     slo_tpot_s: float = 0.05
+    kv_cache: str = "chunked"
     seed: int = 0
+
+    def __post_init__(self):
+        from repro.serve.kvcache import KVCacheSpec
+
+        # Validate (and canonicalize) eagerly so a bad kv_cache string
+        # fails at spec-construction time, like a bad allocator spec.
+        object.__setattr__(
+            self, "kv_cache", KVCacheSpec.parse(self.kv_cache).spec_string())
 
     def build_stream(self):
         from repro.serve.arrivals import (
@@ -270,12 +286,14 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
             stream, serving.model, n_replicas=serving.replicas,
             allocator=allocator, capacity=spec.capacity,
             scheduler=serving.scheduler, config=config,
+            kv_cache=serving.kv_cache,
         )
         return ExperimentResult.from_serve_cluster(
             result, slo=serving.slo(), label=allocator.label)
     result = run_serving(
         stream, serving.model, allocator=allocator, capacity=spec.capacity,
         scheduler=serving.scheduler, config=config,
+        kv_cache=serving.kv_cache,
     )
     return ExperimentResult.from_serving(
         result, slo=serving.slo(), label=allocator.label)

@@ -46,7 +46,7 @@ from typing import (
 from repro.allocators.base import BaseAllocator
 from repro.errors import ReproError
 from repro.gpu.device import GpuDevice
-from repro.units import GB, KB, MB, fmt_bytes
+from repro.units import GB, KB, MB, fmt_bytes, parse_size
 
 
 class SpecError(ReproError, ValueError):
@@ -136,6 +136,71 @@ class Param:
         return "size" if self.kind == "size" else self.type.__name__
 
 
+def find_param(
+    params: Sequence[Param], owner: str, key: str
+) -> Tuple[Param, float]:
+    """Resolve a spec key to ``(param, value_scale)`` among ``params``.
+
+    ``owner`` names the thing being configured (e.g. ``allocator
+    'gmlake'``) for error messages.  Shared by the allocator registry
+    and the serving KV-cache registry so every ``name?key=value``
+    mini-DSL validates keys the same way.  Raises :class:`SpecError`
+    for unknown keys.
+    """
+    for param in params:
+        for candidate in param.keys:
+            if candidate == key:
+                scale = 1.0
+                if param.kind == "size" and key != param.name:
+                    scale = {"_kb": KB, "_mb": MB, "_gb": GB}.get(key[-3:], 1.0)
+                return param, scale
+    known = ", ".join(p.name for p in params) or "(none)"
+    raise SpecError(
+        f"{owner} has no parameter {key!r}; known parameters: {known}"
+    )
+
+
+_BOOL_WORDS = {
+    "1": True, "true": True, "yes": True, "on": True,
+    "0": False, "false": False, "no": False, "off": False,
+}
+
+
+def parse_param_value(owner: str, param: Param, raw: Any, scale: float = 1.0) -> Any:
+    """Coerce one raw spec value to the parameter's declared type.
+
+    ``owner`` names the configured thing for error messages; ``scale``
+    multiplies numeric ``size`` values (unit-suffixed keys).  Raises
+    :class:`SpecError` on malformed values.
+    """
+    try:
+        if param.kind == "bool":
+            if isinstance(raw, bool):
+                return raw
+            word = str(raw).strip().lower()
+            if word not in _BOOL_WORDS:
+                raise ValueError(f"expected on/off/true/false, got {raw!r}")
+            return _BOOL_WORDS[word]
+        if param.kind == "size":
+            if isinstance(raw, str) and not raw.strip().replace(".", "", 1).isdigit():
+                value = parse_size(raw)
+            else:
+                value = int(float(raw) * scale)
+            if value <= 0:
+                raise ValueError("sizes must be positive")
+            return value
+        if param.kind == "int":
+            return int(str(raw), 0)
+        if param.kind == "float":
+            return float(raw)
+        return str(raw)
+    except (TypeError, ValueError) as exc:
+        raise SpecError(
+            f"bad value {raw!r} for {owner} parameter "
+            f"{param.name!r} ({param.type_name}): {exc}"
+        ) from exc
+
+
 @dataclass(frozen=True)
 class AllocatorInfo:
     """Registry metadata for one allocator."""
@@ -157,18 +222,7 @@ class AllocatorInfo:
 
         Raises :class:`SpecError` for unknown keys.
         """
-        for param in self.params:
-            for candidate in param.keys:
-                if candidate == key:
-                    scale = 1.0
-                    if param.kind == "size" and key != param.name:
-                        scale = {"_kb": KB, "_mb": MB, "_gb": GB}.get(key[-3:], 1.0)
-                    return param, scale
-        known = ", ".join(p.name for p in self.params) or "(none)"
-        raise SpecError(
-            f"allocator {self.name!r} has no parameter {key!r}; "
-            f"known parameters: {known}"
-        )
+        return find_param(self.params, f"allocator {self.name!r}", key)
 
     def resolve_params(self, explicit: Dict[str, Any]) -> Dict[str, Any]:
         """Fill derived defaults around the explicitly-set parameters."""

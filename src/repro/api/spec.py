@@ -18,53 +18,45 @@ Python-side factory code anywhere.  Specs round-trip losslessly through
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.allocators.base import BaseAllocator
 from repro.api.registry import (
-    AllocatorInfo,
-    Param,
     SpecError,
     get_allocator_info,
+    parse_param_value,
 )
 from repro.gpu.device import GpuDevice
-from repro.units import MB, parse_size
-
-_BOOL_WORDS = {
-    "1": True, "true": True, "yes": True, "on": True,
-    "0": False, "false": False, "no": False, "off": False,
-}
+from repro.units import MB
 
 
-def _parse_value(info: AllocatorInfo, param: Param, raw: Any, scale: float) -> Any:
-    """Coerce one raw spec value to the parameter's declared type."""
-    try:
-        if param.kind == "bool":
-            if isinstance(raw, bool):
-                return raw
-            word = str(raw).strip().lower()
-            if word not in _BOOL_WORDS:
-                raise ValueError(f"expected on/off/true/false, got {raw!r}")
-            return _BOOL_WORDS[word]
-        if param.kind == "size":
-            if isinstance(raw, str) and not raw.strip().replace(".", "", 1).isdigit():
-                value = parse_size(raw)
-            else:
-                value = int(float(raw) * scale)
-            if value <= 0:
-                raise ValueError("sizes must be positive")
-            return value
-        if param.kind == "int":
-            value = int(str(raw), 0)
-            return value
-        if param.kind == "float":
-            return float(raw)
-        return str(raw)
-    except (TypeError, ValueError) as exc:
-        raise SpecError(
-            f"bad value {raw!r} for {info.name} parameter "
-            f"{param.name!r} ({param.type_name}): {exc}"
-        ) from exc
+def parse_query(text: str) -> Tuple[str, Dict[str, Any]]:
+    """Split a ``"name?key=value&key=value"`` mini-DSL string.
+
+    Returns ``(name, raw_params)`` without validating either — the
+    caller's registry does that.  Shared by :class:`AllocatorSpec` and
+    the serving-side :class:`repro.serve.kvcache.KVCacheSpec` so every
+    spec string in the toolkit has one grammar.
+    """
+    text = text.strip()
+    if not text:
+        raise SpecError("empty spec")
+    name, _, query = text.partition("?")
+    params: Dict[str, Any] = {}
+    if query:
+        for item in query.split("&"):
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            if not sep or not key:
+                raise SpecError(
+                    f"malformed spec item {item!r} in {text!r} "
+                    "(expected key=value)"
+                )
+            if key in params:
+                raise SpecError(f"duplicate parameter {key!r} in {text!r}")
+            params[key] = value
+    return name, params
 
 
 @dataclass(frozen=True)
@@ -90,7 +82,7 @@ class AllocatorSpec:
                     f"parameter {param.name!r} set twice in {self.name} spec "
                     f"(key {key!r} is an alias)"
                 )
-            validated[param.name] = _parse_value(info, param, raw, scale)
+            validated[param.name] = parse_param_value(info.name, param, raw, scale)
         object.__setattr__(self, "params", validated)
 
     # ------------------------------------------------------------------
@@ -101,24 +93,7 @@ class AllocatorSpec:
         """Parse ``"name"`` or ``"name?key=value&key=value"``."""
         if isinstance(text, AllocatorSpec):
             return text
-        text = text.strip()
-        if not text:
-            raise SpecError("empty allocator spec")
-        name, _, query = text.partition("?")
-        params: Dict[str, Any] = {}
-        if query:
-            for item in query.split("&"):
-                if not item:
-                    continue
-                key, sep, value = item.partition("=")
-                if not sep or not key:
-                    raise SpecError(
-                        f"malformed allocator spec item {item!r} in {text!r} "
-                        "(expected key=value)"
-                    )
-                if key in params:
-                    raise SpecError(f"duplicate parameter {key!r} in {text!r}")
-                params[key] = value
+        name, params = parse_query(text)
         return cls(name, params)
 
     @classmethod

@@ -26,6 +26,8 @@ python -m repro trace --model gpt-2 --batch 8 --out /tmp/gpt2.jsonl
 python -m repro replay --in /tmp/gpt2.jsonl --allocator "gmlake?spool=64"
 python -m repro serve --model opt-13b --arrival poisson --rate 2.0 \\
     --allocator gmlake
+python -m repro serve --model opt-1.3b --allocator caching --capacity 4GB \\
+    --kv-cache "paged?block_tokens=16"
 """
 
 from __future__ import annotations
@@ -53,13 +55,16 @@ from repro.api import run as run_experiment
 from repro.errors import AllocatorError
 from repro.gpu.device import GpuDevice
 from repro.serve import (
+    KV_CACHE_MODELS,
     SCHEDULER_FACTORIES,
+    KVCacheSpec,
     LengthSampler,
     MMPPArrivals,
     PoissonArrivals,
     ReplayArrivals,
     ServingConfig,
     SloConfig,
+    kv_cache_names,
     load_arrival_log,
     run_serving,
     run_serving_cluster,
@@ -240,6 +245,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            queue_timeout_s=args.timeout)
     slo = SloConfig(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
 
+    kv_spec = KVCacheSpec.parse(args.kv_cache)
     reports = {}
     for spec in _parse_spec_list(args.allocator):
         # Regenerate per allocator: the simulator mutates the requests.
@@ -248,17 +254,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             result = run_serving_cluster(
                 stream, args.model, n_replicas=args.gpus, allocator=spec,
                 capacity=args.capacity, scheduler=args.scheduler,
-                config=config)
+                config=config, kv_cache=kv_spec)
         else:
             result = run_serving(
                 stream, args.model, allocator=spec, capacity=args.capacity,
-                scheduler=args.scheduler, config=config)
+                scheduler=args.scheduler, config=config, kv_cache=kv_spec)
         reports[spec.label] = result.report(slo)
 
     shape = (args.arrival if args.arrival == "replay"
              else f"{args.arrival} rate={args.rate:g}/s")
     title = (f"serve {args.model}: {n_requests} req, {shape}, "
-             f"{args.gpus} GPU(s), scheduler={args.scheduler}")
+             f"{args.gpus} GPU(s), scheduler={args.scheduler}, "
+             f"kv={kv_spec.label}")
     print(format_serving_summary(reports, title=title, slo=slo))
     return 0
 
@@ -296,6 +303,22 @@ def cmd_list_allocators(args: argparse.Namespace) -> int:
             params,
             title='tunable parameters (spec syntax: "name?key=value&key=value")',
         ))
+
+    kv_rows = [
+        {
+            "name": info.name,
+            "parameter": param.name,
+            "default": param.default_str(),
+            "description": info.description,
+        }
+        for info in KV_CACHE_MODELS.values()
+        for param in info.params
+    ]
+    print()
+    print(format_table(
+        kv_rows,
+        title="serving KV-cache models (serve --kv-cache \"name?key=value\")",
+    ))
     return 0
 
 
@@ -402,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
                         f"(names: {allocator_names()})")
     p.add_argument("--scheduler", default="memory-aware",
                    choices=sorted(SCHEDULER_FACTORIES))
+    p.add_argument("--kv-cache", default="chunked",
+                   help="KV-cache memory model spec, e.g. 'chunked', "
+                        "'paged?block_tokens=16' "
+                        f"(names: {kv_cache_names()})")
     p.add_argument("--gpus", type=int, default=1,
                    help="number of serving replicas")
     p.add_argument("--capacity", type=parse_size, default=80 * GB,

@@ -5,17 +5,22 @@ request's admission time and KV-cache lifetime are fixed before the
 allocator runs.  This subpackage closes the loop the paper's §6
 serving argument describes: fragmentation feeds back into admission
 capacity and latency.  A discrete-event simulator admits requests
-online, grows KV caches chunk by chunk, preempts and requeues on OOM
-instead of failing the trace, and reports serving SLO metrics (TTFT,
-TPOT, tail latency, goodput) next to the allocator metrics.
+online, provisions KV caches through a pluggable memory model
+(``chunked`` contiguous growth or vLLM-style ``paged`` block tables),
+preempts and requeues on OOM instead of failing the trace, and reports
+serving SLO metrics (TTFT, TPOT, tail latency, goodput) next to the
+allocator metrics.
 
 Layout
 ------
 - :mod:`repro.serve.request`   — the request lifecycle model.
 - :mod:`repro.serve.arrivals`  — Poisson / MMPP / replayed arrival
   processes with heavy-tailed prompt/output lengths.
+- :mod:`repro.serve.kvcache`   — KV-cache memory models (``chunked``
+  vs. ``paged``): pool-level vs. cache-level defragmentation.
 - :mod:`repro.serve.scheduler` — FCFS / shortest-prompt / memory-aware
-  admission policies (the last queries ``allocator.stats()``).
+  admission policies (the last queries ``allocator.stats()`` through
+  the KV model's headroom — free-block counts under paged KV).
 - :mod:`repro.serve.simulator` — the single-replica event loop.
 - :mod:`repro.serve.metrics`   — SLO metrics and the serving report.
 - :mod:`repro.serve.cluster`   — the multi-replica front-end.
@@ -41,6 +46,16 @@ from repro.serve.cluster import (
     ServeClusterResult,
     dispatch_requests,
     run_serving_cluster,
+)
+from repro.serve.kvcache import (
+    KV_CACHE_MODELS,
+    ChunkedKVCache,
+    KVCacheMetrics,
+    KVCacheModel,
+    KVCacheSpec,
+    PagedKVCache,
+    kv_cache_names,
+    resolve_kv_cache,
 )
 from repro.serve.metrics import ServingReport, SloConfig, percentile
 from repro.serve.request import RequestState, ServeRequest
@@ -69,6 +84,14 @@ __all__ = [
     "load_arrival_log",
     "RequestState",
     "ServeRequest",
+    "KVCacheModel",
+    "KVCacheMetrics",
+    "KVCacheSpec",
+    "ChunkedKVCache",
+    "PagedKVCache",
+    "KV_CACHE_MODELS",
+    "kv_cache_names",
+    "resolve_kv_cache",
     "Scheduler",
     "SchedulerView",
     "FcfsScheduler",

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro.api.result import WorstMemberRunResult
 from repro.api.spec import AllocatorLike
+from repro.serve.kvcache import KVCacheLike, KVCacheMetrics, KVCacheModel
 from repro.serve.metrics import ServingReport, SloConfig
 from repro.serve.request import ServeRequest
 from repro.serve.scheduler import Scheduler
@@ -102,15 +103,52 @@ class ServeClusterResult(WorstMemberRunResult):
     def oom(self) -> bool:
         return False
 
+    @property
+    def kv_cache_name(self) -> str:
+        """The fleet's (uniform) KV-cache model name."""
+        return self.replicas[0].kv_cache_name if self.replicas else "chunked"
+
+    @property
+    def kv_metrics(self) -> Optional[KVCacheMetrics]:
+        """Fleet-wide KV-cache metrics, merged across replicas.
+
+        Counters, copy bytes and utilization samples sum; the peak
+        fields sum *per-replica* peaks (the fleet's capacity-planning
+        upper bound — replicas own disjoint memory, but their peaks
+        need not coincide in time).
+        """
+        merged: Optional[KVCacheMetrics] = None
+        for replica in self.replicas:
+            metrics = replica.kv_metrics
+            if metrics is None:
+                continue
+            if merged is None:
+                merged = KVCacheMetrics(kv_cache=metrics.kv_cache,
+                                        block_tokens=metrics.block_tokens)
+            merged.kv_allocs += metrics.kv_allocs
+            merged.kv_frees += metrics.kv_frees
+            merged.peak_kv_bytes += metrics.peak_kv_bytes
+            merged.peak_blocks += metrics.peak_blocks
+            merged.grow_copy_bytes += metrics.grow_copy_bytes
+            merged.preempt_copy_bytes += metrics.preempt_copy_bytes
+            merged.util_sum += metrics.util_sum
+            merged.util_samples += metrics.util_samples
+        return merged
+
     def extras(self) -> Dict[str, object]:
         """Fleet-specific metrics beyond the shared surface."""
-        return {
+        out: Dict[str, object] = {
             "n_replicas": self.n_replicas,
             "completed": sum(r.completed for r in self.replicas),
             "rejected": sum(r.rejected for r in self.replicas),
             "preemptions": sum(r.preemptions for r in self.replicas),
             "makespan_s": self.makespan_s,
+            "kv_cache": self.kv_cache_name,
         }
+        merged = self.kv_metrics
+        if merged is not None:
+            out["kv_internal_frag"] = round(merged.internal_frag_ratio, 3)
+        return out
 
     def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
         """Fleet-wide SLO report over the merged request population."""
@@ -134,8 +172,15 @@ def run_serving_cluster(
     capacity: int = A100_80GB,
     scheduler: Union[str, Scheduler] = "fcfs",
     config: Optional[ServingConfig] = None,
+    kv_cache: KVCacheLike = "chunked",
 ) -> ServeClusterResult:
     """Load-balance ``requests`` over ``n_replicas`` single-GPU replicas."""
+    if isinstance(kv_cache, KVCacheModel):
+        raise ValueError(
+            "pass kv_cache as a spec string or KVCacheSpec so each "
+            "replica builds its own model (a shared instance would mix "
+            "block tables across replicas)"
+        )
     model = get_model(model) if isinstance(model, str) else model
     config = config if config is not None else ServingConfig()
     shards = dispatch_requests(requests, n_replicas,
@@ -145,6 +190,7 @@ def run_serving_cluster(
         simulator = ServingSimulator(
             model, allocator=allocator, capacity=capacity,
             scheduler=scheduler, config=config, replica_id=replica_id,
+            kv_cache=kv_cache,
         )
         result.replicas.append(simulator.run(shard))
     return result

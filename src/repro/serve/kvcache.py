@@ -1,0 +1,580 @@
+"""KV-cache memory models: pool-level vs. cache-level defragmentation.
+
+The paper's thesis is that *pool-level* defragmentation (GMLake's VMM
+stitching) recovers the memory a caching allocator strands.  The
+strongest modern counterpoint is *cache-level* defragmentation: vLLM's
+paged attention carves the KV cache into fixed-size blocks indexed by a
+per-request block table, so the allocator only ever sees one request
+size and pool fragmentation cannot occur.  This module makes both
+strategies pluggable in the online serving simulator so the two can be
+compared head to head on identical arrival streams:
+
+``chunked``
+    One contiguous KV tensor per request, grown by whole chunks.  A
+    growth re-alloc allocates the new tensor *before* freeing the old
+    (a real KV copy needs both live), transiently doubling the
+    request's footprint — the worst case for a fragmented pool, and the
+    scenario where the allocator choice (caching vs. GMLake) decides
+    goodput.
+
+``paged``
+    Fixed-size blocks of ``block_tokens`` tokens, tracked in a
+    per-request block table and freed exactly at request completion.
+    Every allocation has the same size, so any allocator serves it
+    from an exact-fit free list and *pool* fragmentation vanishes —
+    fragmentation moves into the cache layer instead, as internal
+    waste in each request's last partially-filled block.
+
+A model is named by the same ``"name?key=value"`` mini-DSL as
+allocators (:class:`KVCacheSpec`, e.g. ``"paged?block_tokens=16"``),
+with parameters validated against a registry, and reports
+:class:`KVCacheMetrics` (block utilization, internal fragmentation,
+copy costs) next to the allocator's pool metrics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.allocators.base import BaseAllocator
+from repro.allocators.stats import AllocatorStats
+from repro.api.registry import (
+    Param,
+    SpecError,
+    find_param,
+    parse_param_value,
+)
+from repro.api.spec import parse_query
+from repro.serve.request import ServeRequest
+from repro.units import align_up
+from repro.workloads.inference import kv_bytes
+from repro.workloads.models import ModelSpec
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+@dataclass
+class KVCacheMetrics:
+    """What the KV-cache layer itself did during one serving run.
+
+    The allocator's :class:`~repro.allocators.stats.AllocatorStats`
+    measure *pool*-level fragmentation; these measure *cache*-level
+    waste and data movement, so the comparison tables can show where
+    each strategy pays.
+
+    Attributes
+    ----------
+    kv_cache:
+        Model name (``chunked`` / ``paged``).
+    block_tokens:
+        Granularity in tokens (chunk size for chunked, block size for
+        paged).
+    kv_allocs / kv_frees:
+        KV tensor allocations and frees issued to the allocator.
+    peak_kv_bytes:
+        Peak bytes held in live KV tensors.
+    peak_blocks:
+        Peak live fixed-size blocks (paged; 0 for chunked).
+    grow_copy_bytes:
+        Bytes memcpy'd by growth re-allocs (chunked only — paged growth
+        never copies; this is the cache-level cost chunked pays).
+    preempt_copy_bytes:
+        KV bytes discarded at preemption and recomputed on re-admission
+        (the copy-on-preempt / recompute cost, both models).
+    util_sum / util_samples:
+        Accumulated per-decode-step KV utilization samples
+        (used tokens / allocated token capacity over the running batch).
+    """
+
+    kv_cache: str
+    block_tokens: int = 0
+    kv_allocs: int = 0
+    kv_frees: int = 0
+    peak_kv_bytes: int = 0
+    peak_blocks: int = 0
+    grow_copy_bytes: int = 0
+    preempt_copy_bytes: int = 0
+    util_sum: float = 0.0
+    util_samples: int = 0
+
+    @property
+    def block_utilization(self) -> float:
+        """Mean fraction of allocated KV token capacity actually used."""
+        if self.util_samples == 0:
+            return 1.0
+        return self.util_sum / self.util_samples
+
+    @property
+    def internal_frag_ratio(self) -> float:
+        """1 − block utilization: the cache-level fragmentation metric."""
+        return 1.0 - self.block_utilization
+
+    def as_row(self) -> Dict[str, Any]:
+        """Table columns for ``repro.analysis`` rendering."""
+        return {
+            "kv": self.kv_cache,
+            "kv util": round(self.block_utilization, 3),
+            "kv frag": round(self.internal_frag_ratio, 3),
+            "kv allocs": self.kv_allocs,
+            "copy (MB)": round(
+                (self.grow_copy_bytes + self.preempt_copy_bytes) / (1 << 20), 1),
+        }
+
+
+# ----------------------------------------------------------------------
+# The model interface
+# ----------------------------------------------------------------------
+class KVCacheModel(ABC):
+    """How one serving replica lays its KV cache out in pool memory.
+
+    The simulator owns the event loop and the preemption policy; the
+    model owns every KV byte: it allocates through the replica's
+    :class:`~repro.sim.engine.ReplaySession` (so driver latency is
+    charged to the simulated clock), keeps ``request.kv_capacity_tokens``
+    current, and accounts its own :class:`KVCacheMetrics`.  ``admit`` /
+    ``grow`` return ``False`` on allocator OOM — recovery (victim
+    preemption, queueing) stays the simulator's job.
+    """
+
+    name: str = "kv"
+
+    def __init__(self, model: ModelSpec, granularity_tokens: int):
+        if granularity_tokens < 1:
+            raise SpecError(
+                f"{self.name} KV cache needs a positive token granularity, "
+                f"got {granularity_tokens}"
+            )
+        self.model = model
+        self.metrics = KVCacheMetrics(kv_cache=self.name,
+                                      block_tokens=granularity_tokens)
+        self._session = None  # ReplaySession, bound by the simulator
+        self._allocator: Optional[BaseAllocator] = None
+        self._live_kv_bytes = 0
+
+    def bind(self, session, allocator: BaseAllocator) -> None:
+        """Attach the replica's session + allocator (once, at startup)."""
+        if self._session is not None:
+            raise ValueError(
+                f"KV-cache model {self.name!r} is already bound to a "
+                "replica; a model instance carries per-run metrics and "
+                "block tables, so build a fresh one (or pass a spec "
+                "string) per simulator"
+            )
+        self._session = session
+        self._allocator = allocator
+
+    # -- allocator access with shared accounting -----------------------
+    def _try_alloc(self, name: str, size: int) -> bool:
+        """Allocate a KV tensor; retry once after ``empty_cache``."""
+        ok = self._session.try_alloc(name, size)
+        if not ok:
+            self._allocator.empty_cache()
+            ok = self._session.try_alloc(name, size)
+        if ok:
+            self.metrics.kv_allocs += 1
+            self._live_kv_bytes += size
+            self.metrics.peak_kv_bytes = max(
+                self.metrics.peak_kv_bytes, self._live_kv_bytes)
+        return ok
+
+    def _free(self, name: str, size: int) -> None:
+        self._session.free(name)
+        self.metrics.kv_frees += 1
+        self._live_kv_bytes -= size
+
+    # -- lifecycle (called by the simulator) ---------------------------
+    @abstractmethod
+    def admit(self, request: ServeRequest) -> bool:
+        """Provision KV capacity for ``context + 1`` tokens at admission."""
+
+    @abstractmethod
+    def grow(self, request: ServeRequest) -> bool:
+        """Extend a running request's KV capacity past its context."""
+
+    @abstractmethod
+    def release(self, request: ServeRequest, preempted: bool = False) -> None:
+        """Free every KV byte of ``request`` (finish, reject or preempt)."""
+
+    # -- admission feedback (called by schedulers) ---------------------
+    @abstractmethod
+    def projected_bytes(self, request: ServeRequest) -> int:
+        """KV bytes the request will occupy at its full context."""
+
+    @abstractmethod
+    def headroom_bytes(self, stats: AllocatorStats, capacity: int,
+                       pool_reuse: float = 0.5) -> int:
+        """Bytes of KV the allocator can plausibly hand out right now."""
+
+    # -- invariants / metrics ------------------------------------------
+    @property
+    @abstractmethod
+    def live_requests(self) -> int:
+        """Requests currently holding KV memory (0 after a clean run)."""
+
+    @property
+    def live_kv_bytes(self) -> int:
+        """Bytes currently held in live KV tensors."""
+        return self._live_kv_bytes
+
+    def note_decode_step(self, running: Iterable[ServeRequest]) -> None:
+        """Sample cache-level utilization over the running batch."""
+        capacity = used = 0
+        for request in running:
+            capacity += request.kv_capacity_tokens
+            used += min(request.context_tokens, request.kv_capacity_tokens)
+        if capacity > 0:
+            self.metrics.util_sum += used / capacity
+            self.metrics.util_samples += 1
+
+    def _note_preempt(self, request: ServeRequest) -> None:
+        self.metrics.preempt_copy_bytes += kv_bytes(
+            self.model, min(request.context_tokens, request.kv_capacity_tokens))
+
+
+class ChunkedKVCache(KVCacheModel):
+    """Contiguous per-request KV tensors, grown by whole chunks.
+
+    This is the layout a plain PyTorch serving stack produces: each
+    growth allocates a bigger tensor *before* freeing the old one (the
+    copy needs both live), so KV sizes vary continuously and the memory
+    pool bears the fragmentation — the workload the paper's pool-level
+    stitching is built for.
+    """
+
+    name = "chunked"
+
+    def __init__(self, model: ModelSpec, chunk_tokens: int = 256):
+        super().__init__(model, chunk_tokens)
+        self.chunk_tokens = chunk_tokens
+        self._live: Dict[int, Tuple[str, int]] = {}  # req_id -> (name, bytes)
+
+    def _realloc(self, request: ServeRequest, capacity_tokens: int) -> bool:
+        """Allocate the new KV tensor, then retire the old (copy done)."""
+        request.kv_generation += 1
+        name = f"kv{request.req_id}.{request.kv_generation}"
+        size = kv_bytes(self.model, capacity_tokens)
+        if not self._try_alloc(name, size):
+            request.kv_generation -= 1
+            return False
+        old = self._live.get(request.req_id)
+        if old is not None:
+            self.metrics.grow_copy_bytes += kv_bytes(
+                self.model,
+                min(request.context_tokens, request.kv_capacity_tokens))
+            self._free(*old)
+        self._live[request.req_id] = (name, size)
+        request.kv_name = name
+        request.kv_capacity_tokens = capacity_tokens
+        return True
+
+    def admit(self, request: ServeRequest) -> bool:
+        tokens = align_up(max(request.context_tokens + 1, 1),
+                          self.chunk_tokens)
+        return self._realloc(request, tokens)
+
+    def grow(self, request: ServeRequest) -> bool:
+        return self._realloc(
+            request, request.kv_capacity_tokens + self.chunk_tokens)
+
+    def release(self, request: ServeRequest, preempted: bool = False) -> None:
+        held = self._live.pop(request.req_id, None)
+        if held is None:
+            return
+        if preempted:
+            self._note_preempt(request)
+        self._free(*held)
+        request.kv_name = None
+        request.kv_capacity_tokens = 0
+
+    def projected_bytes(self, request: ServeRequest) -> int:
+        tokens = align_up(max(request.total_tokens, 1), self.chunk_tokens)
+        return kv_bytes(self.model, tokens)
+
+    def headroom_bytes(self, stats: AllocatorStats, capacity: int,
+                       pool_reuse: float = 0.5) -> int:
+        """Unreserved memory in full; idle pool memory at ``pool_reuse``.
+
+        Whether a shredded pool can serve a *large* contiguous KV block
+        depends on the allocator — a splitting allocator may have
+        fragmented it beyond use, a stitching one can fuse it back.
+        This is the feedback path that makes admission
+        allocator-dependent under chunked KV.
+        """
+        unreserved = capacity - stats.reserved_bytes
+        reusable = stats.reserved_bytes - stats.active_bytes
+        return int(unreserved + pool_reuse * reusable)
+
+    @property
+    def live_requests(self) -> int:
+        return len(self._live)
+
+
+class PagedKVCache(KVCacheModel):
+    """vLLM-style paged KV: fixed-size blocks + per-request block tables.
+
+    Every allocation is exactly ``block_tokens`` tokens of KV, so the
+    pool only ever sees one size and any allocator serves it from an
+    exact-fit free list — cache-level defragmentation makes the
+    allocator choice irrelevant.  The price moves into the cache layer:
+    each request wastes the tail of its last block (internal
+    fragmentation), and attention must gather through a block table.
+    Blocks are freed exactly at request completion (or preemption).
+    """
+
+    name = "paged"
+
+    def __init__(self, model: ModelSpec, block_tokens: int = 16):
+        super().__init__(model, block_tokens)
+        self.block_tokens = block_tokens
+        self.block_bytes = kv_bytes(model, block_tokens)
+        self._tables: Dict[int, List[str]] = {}  # req_id -> block names
+        self._live_blocks = 0
+        self._next_block = 0
+
+    def _blocks_for(self, tokens: int) -> int:
+        return -(-max(tokens, 1) // self.block_tokens)  # ceil div
+
+    def _ensure(self, request: ServeRequest, tokens: int) -> bool:
+        """Grow the block table to cover ``tokens``; roll back on OOM."""
+        table = self._tables.setdefault(request.req_id, [])
+        need = self._blocks_for(tokens)
+        added: List[str] = []
+        while len(table) < need:
+            name = f"kvb{request.req_id}.{self._next_block}"
+            self._next_block += 1
+            if not self._try_alloc(name, self.block_bytes):
+                for block in reversed(added):
+                    table.remove(block)
+                    self._free(block, self.block_bytes)
+                    self._live_blocks -= 1
+                if not table:
+                    del self._tables[request.req_id]
+                request.kv_capacity_tokens = len(table) * self.block_tokens
+                return False
+            table.append(name)
+            added.append(name)
+            self._live_blocks += 1
+        self.metrics.peak_blocks = max(self.metrics.peak_blocks,
+                                       self._live_blocks)
+        request.kv_capacity_tokens = len(table) * self.block_tokens
+        return True
+
+    def admit(self, request: ServeRequest) -> bool:
+        return self._ensure(request, request.context_tokens + 1)
+
+    def grow(self, request: ServeRequest) -> bool:
+        return self._ensure(request, request.context_tokens + 1)
+
+    def release(self, request: ServeRequest, preempted: bool = False) -> None:
+        table = self._tables.pop(request.req_id, None)
+        if table is None:
+            return
+        if preempted:
+            self._note_preempt(request)
+        for block in table:
+            self._free(block, self.block_bytes)
+            self._live_blocks -= 1
+        request.kv_capacity_tokens = 0
+
+    def projected_bytes(self, request: ServeRequest) -> int:
+        return self._blocks_for(request.total_tokens) * self.block_bytes
+
+    def free_blocks(self, stats: AllocatorStats, capacity: int) -> int:
+        """Whole blocks the pool can still hand out right now.
+
+        Because every block is the same size, reserved-but-inactive
+        pool memory is *fully* reusable (exact-fit hits, no stitching
+        or splitting needed) — the defining contrast with
+        :meth:`ChunkedKVCache.headroom_bytes`'s discounted pool reuse.
+        """
+        unreserved = capacity - stats.reserved_bytes
+        reusable = stats.reserved_bytes - stats.active_bytes
+        return max(0, int(unreserved + reusable) // self.block_bytes)
+
+    def headroom_bytes(self, stats: AllocatorStats, capacity: int,
+                       pool_reuse: float = 0.5) -> int:
+        """Free-block count times block size (``pool_reuse`` ignored —
+        exact-size blocks always reuse idle pool memory in full)."""
+        del pool_reuse
+        return self.free_blocks(stats, capacity) * self.block_bytes
+
+    @property
+    def live_requests(self) -> int:
+        return len(self._tables)
+
+    @property
+    def live_blocks(self) -> int:
+        """Blocks currently allocated across all block tables."""
+        return self._live_blocks
+
+
+# ----------------------------------------------------------------------
+# Registry + spec mini-DSL
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KVCacheInfo:
+    """Registry metadata for one KV-cache model."""
+
+    name: str
+    cls: type
+    params: Tuple[Param, ...] = ()
+    description: str = ""
+
+    def find_param(self, key: str) -> Tuple[Param, float]:
+        return find_param(self.params, f"KV cache {self.name!r}", key)
+
+
+#: The KV-cache model catalogue — the serving-side sibling of
+#: :func:`repro.api.registry.allocator_registry`.
+KV_CACHE_MODELS: Dict[str, KVCacheInfo] = {
+    "chunked": KVCacheInfo(
+        name="chunked",
+        cls=ChunkedKVCache,
+        params=(
+            Param("chunk_tokens", int, 256,
+                  doc="KV growth granularity in tokens "
+                      "(default: ServingConfig.kv_chunk_tokens)"),
+        ),
+        description="contiguous per-request KV tensors grown by chunks "
+                    "(pool-level defragmentation territory)",
+    ),
+    "paged": KVCacheInfo(
+        name="paged",
+        cls=PagedKVCache,
+        params=(
+            Param("block_tokens", int, 16,
+                  doc="tokens per fixed-size KV block (vLLM-style)"),
+        ),
+        description="fixed-size blocks + per-request block tables "
+                    "(cache-level defragmentation)",
+    ),
+}
+
+
+def kv_cache_names() -> List[str]:
+    """Registered KV-cache model names."""
+    return sorted(KV_CACHE_MODELS)
+
+
+def get_kv_cache_info(name: str) -> KVCacheInfo:
+    """Look up KV-cache registry metadata; raises :class:`SpecError`."""
+    key = name.strip().lower()
+    if key not in KV_CACHE_MODELS:
+        known = ", ".join(kv_cache_names())
+        raise SpecError(f"unknown KV-cache model {name!r}; known: {known}")
+    return KV_CACHE_MODELS[key]
+
+
+@dataclass(frozen=True)
+class KVCacheSpec:
+    """A validated (KV-cache model, parameters) pair.
+
+    Speaks the same mini-DSL as :class:`repro.api.AllocatorSpec`::
+
+        chunked
+        chunked?chunk_tokens=128
+        paged?block_tokens=16
+
+    ``params`` holds only explicitly-set values, validated against the
+    registry, so specs stay minimal and JSON-stable.
+    """
+
+    name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        info = get_kv_cache_info(self.name)  # raises on unknown name
+        object.__setattr__(self, "name", info.name)
+        validated: Dict[str, Any] = {}
+        for key, raw in self.params.items():
+            param, scale = info.find_param(str(key))
+            if param.name in validated:
+                raise SpecError(
+                    f"parameter {param.name!r} set twice in {self.name} "
+                    f"KV-cache spec (key {key!r} is an alias)"
+                )
+            validated[param.name] = parse_param_value(
+                f"KV cache {info.name!r}", param, raw, scale)
+            if param.kind in ("int", "size") and validated[param.name] < 1:
+                raise SpecError(
+                    f"KV cache {info.name!r} parameter {param.name!r} "
+                    f"must be >= 1, got {validated[param.name]}"
+                )
+        object.__setattr__(self, "params", validated)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: Union[str, "KVCacheSpec"]) -> "KVCacheSpec":
+        """Parse ``"name"`` or ``"name?key=value&key=value"``."""
+        if isinstance(text, KVCacheSpec):
+            return text
+        name, params = parse_query(text)
+        return cls(name, params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation; round-trips via :meth:`from_dict`."""
+        out: Dict[str, Any] = {"name": self.name}
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "KVCacheSpec":
+        """Inverse of :meth:`to_dict`."""
+        if "name" not in data:
+            raise SpecError(f"KV-cache spec dict needs a 'name': {data!r}")
+        unknown = set(data) - {"name", "params"}
+        if unknown:
+            raise SpecError(f"unknown KV-cache spec keys {sorted(unknown)}")
+        return cls(str(data["name"]), dict(data.get("params") or {}))
+
+    def spec_string(self) -> str:
+        """The canonical mini-DSL string; :meth:`parse` round-trips it."""
+        if not self.params:
+            return self.name
+        items = [f"{key}={value}" for key, value in sorted(self.params.items())]
+        return f"{self.name}?{'&'.join(items)}"
+
+    @property
+    def label(self) -> str:
+        """Short display label for tables."""
+        return self.spec_string()
+
+    def build(self, model: ModelSpec,
+              default_chunk_tokens: int = 256) -> KVCacheModel:
+        """Instantiate the configured model for ``model``.
+
+        ``default_chunk_tokens`` backs the chunked model's granularity
+        when the spec does not pin ``chunk_tokens`` (the simulator
+        passes its ``ServingConfig.kv_chunk_tokens``).
+        """
+        info = get_kv_cache_info(self.name)
+        params = dict(self.params)
+        if info.name == "chunked":
+            params.setdefault("chunk_tokens", default_chunk_tokens)
+        try:
+            return info.cls(model, **params)
+        except (TypeError, ValueError) as exc:
+            raise SpecError(
+                f"cannot construct KV cache {self.name!r} "
+                f"with params {params!r}: {exc}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return self.spec_string()
+
+
+#: Anything the serving stack accepts where a KV-cache model is named.
+KVCacheLike = Union[str, KVCacheSpec, KVCacheModel]
+
+
+def resolve_kv_cache(kind: KVCacheLike, model: ModelSpec,
+                     default_chunk_tokens: int = 256) -> KVCacheModel:
+    """Build a KV-cache model from a spec string, spec, or instance."""
+    if isinstance(kind, KVCacheModel):
+        return kind
+    return KVCacheSpec.parse(kind).build(
+        model, default_chunk_tokens=default_chunk_tokens)

@@ -66,8 +66,11 @@ class ServeRequest:
     reject_reason: Optional[str] = None
     tokens_done: int = 0
     preemptions: int = 0
-    # Simulator-private KV bookkeeping (name + token capacity of the
-    # live KV tensor, and a generation counter for unique tensor names).
+    # KV bookkeeping maintained by the replica's KVCacheModel.
+    # kv_capacity_tokens is the token capacity currently provisioned
+    # (chunk-rounded for chunked KV, whole blocks for paged KV);
+    # kv_name/kv_generation are used by the chunked model only — the
+    # paged model keeps its block table internally, keyed by req_id.
     kv_name: Optional[str] = field(default=None, repr=False)
     kv_capacity_tokens: int = field(default=0, repr=False)
     kv_generation: int = field(default=0, repr=False)

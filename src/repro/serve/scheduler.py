@@ -24,9 +24,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.allocators.base import BaseAllocator
+from repro.serve.kvcache import KVCacheModel
 from repro.serve.request import ServeRequest
-from repro.units import align_up
-from repro.workloads.inference import kv_bytes
 from repro.workloads.models import ModelSpec
 
 
@@ -39,29 +38,32 @@ class SchedulerView:
     running: int
     max_batch: int
     capacity: int
-    kv_chunk_tokens: int
+    kv: KVCacheModel
 
     def projected_kv_bytes(self, request: ServeRequest) -> int:
-        """Chunk-rounded KV bytes for the request's *full* context."""
-        tokens = align_up(max(request.total_tokens, 1), self.kv_chunk_tokens)
-        return kv_bytes(self.model, tokens)
+        """KV bytes the request occupies at its *full* context, as the
+        replica's KV-cache model lays it out (chunk-rounded for the
+        chunked model, whole blocks for the paged model)."""
+        return self.kv.projected_bytes(request)
 
     def headroom_bytes(self, pool_reuse: float = 0.5) -> int:
-        """Bytes the allocator can plausibly hand out right now.
+        """Bytes of KV the allocator can plausibly hand out right now.
 
-        Unreserved device memory counts in full; reserved-but-inactive
-        pool memory counts at ``pool_reuse`` because whether a shredded
-        pool can actually serve a *large* KV block depends on the
-        allocator — a splitting allocator may have fragmented it beyond
-        use, while a stitching one can fuse it back.  This is the
-        feedback path that makes admission allocator-dependent: a
-        fragmented pool (high reserved, same active) shrinks the
-        headroom a memory-aware policy sees.
+        Delegates to the KV-cache model, because reusability of
+        reserved-but-inactive pool memory is a property of the KV
+        layout.  Under **chunked** KV, unreserved memory counts in full
+        and idle pool memory only at ``pool_reuse`` — whether a
+        shredded pool can serve a *large* contiguous block depends on
+        the allocator (a splitting allocator may have fragmented it
+        beyond use, a stitching one can fuse it back), which is the
+        feedback path that makes admission allocator-dependent.  Under
+        **paged** KV every allocation is one fixed-size block, so the
+        model counts whole free blocks and idle pool memory reuses in
+        full — admission consults the free-block count, like vLLM's
+        block manager.
         """
-        stats = self.allocator.stats()
-        unreserved = self.capacity - stats.reserved_bytes
-        reusable = stats.reserved_bytes - stats.active_bytes
-        return int(unreserved + pool_reuse * reusable)
+        return self.kv.headroom_bytes(
+            self.allocator.stats(), self.capacity, pool_reuse)
 
 
 class Scheduler(ABC):

@@ -7,11 +7,13 @@ decides admissions online, with the allocator in the loop:
   queue; waiting past ``queue_timeout_s`` rejects them (timeout SLO);
 * the scheduler picks what to admit, possibly consulting live
   ``allocator.stats()`` headroom;
-* admission allocates the request's KV cache *incrementally*: capacity
-  for the prompt plus one chunk of decode room, then chunked re-allocs
-  as decode outgrows it (new block allocated before the old is freed,
-  as a real KV copy requires — transiently doubling that request's
-  footprint, the worst case for a fragmented pool);
+* admission provisions the request's KV cache through a pluggable
+  :class:`~repro.serve.kvcache.KVCacheModel` — ``chunked`` (contiguous
+  per-request tensors grown by re-alloc, the new block allocated
+  before the old is freed as a real KV copy requires, stressing the
+  allocator's pool) or ``paged`` (vLLM-style fixed-size blocks with a
+  per-request block table, moving fragmentation from the pool into the
+  cache layer);
 * an OOM during KV growth **preempts** the youngest other running
   request (its KV is freed, the request requeued with its generated
   tokens kept — vLLM-style recompute preemption) instead of crashing
@@ -33,16 +35,20 @@ from typing import Dict, Iterable, List, Optional, Union
 from repro.allocators.stats import AllocatorStats
 from repro.api.spec import AllocatorLike, resolve_allocator
 from repro.gpu.device import GpuDevice
+from repro.serve.kvcache import (
+    KVCacheLike,
+    KVCacheMetrics,
+    resolve_kv_cache,
+)
 from repro.serve.request import RequestState, ServeRequest
 from repro.serve.metrics import ServingReport, SloConfig
 from repro.serve.scheduler import Scheduler, SchedulerView, make_scheduler
 from repro.sim.engine import AllocatorFactory, ReplaySession
 from repro.sim.timeline import TimelinePoint
-from repro.units import A100_80GB, GB, align_up
+from repro.units import A100_80GB, GB
 from repro.workloads.inference import (
     DECODE_TOKENS_PER_S,
     decode_workspace_bytes,
-    kv_bytes,
 )
 from repro.workloads.models import ModelSpec, get_model
 
@@ -59,9 +65,9 @@ class ServingConfig:
     max_batch:
         Cap on concurrently running (decoding) requests.
     kv_chunk_tokens:
-        KV-cache growth granularity in tokens; admission allocates
-        enough chunks for the prompt + first token, decode re-allocs
-        one more chunk at a time.
+        Default KV growth granularity in tokens for the ``chunked``
+        KV-cache model (a ``chunked?chunk_tokens=...`` spec overrides
+        it; the ``paged`` model uses ``block_tokens`` instead).
     queue_timeout_s:
         A request waiting longer than this is rejected (timeout SLO).
     max_preemptions:
@@ -111,6 +117,8 @@ class ServingResult:
     stats: AllocatorStats
     timeline: List[TimelinePoint] = field(default_factory=list)
     replica_id: int = 0
+    kv_cache_name: str = "chunked"
+    kv_metrics: Optional[KVCacheMetrics] = None
 
     @property
     def completed(self) -> int:
@@ -162,12 +170,17 @@ class ServingResult:
 
     def extras(self) -> Dict[str, object]:
         """Serving-specific metrics beyond the shared surface."""
-        return {
+        out: Dict[str, object] = {
             "completed": self.completed,
             "rejected": self.rejected,
             "preemptions": self.preemptions,
             "makespan_s": self.makespan_s,
+            "kv_cache": self.kv_cache_name,
         }
+        if self.kv_metrics is not None:
+            out["kv_internal_frag"] = round(
+                self.kv_metrics.internal_frag_ratio, 3)
+        return out
 
     def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
         """Aggregate SLO metrics for this replica's request population."""
@@ -189,6 +202,7 @@ class ServingSimulator:
         scheduler: Union[str, Scheduler] = "fcfs",
         config: Optional[ServingConfig] = None,
         replica_id: int = 0,
+        kv_cache: KVCacheLike = "chunked",
     ):
         self.model = get_model(model) if isinstance(model, str) else model
         self.config = config if config is not None else ServingConfig()
@@ -198,58 +212,31 @@ class ServingSimulator:
         self.allocator = resolve_allocator(allocator, self.device)
         self.scheduler = make_scheduler(scheduler)
         self.session = ReplaySession(self.allocator)
+        self.kv = resolve_kv_cache(
+            kv_cache, self.model,
+            default_chunk_tokens=self.config.kv_chunk_tokens)
+        self.kv.bind(self.session, self.allocator)
         self._step_count = 0
 
     # ------------------------------------------------------------------
-    # Time and sizing helpers
+    # Time helpers
     # ------------------------------------------------------------------
     def _now(self) -> float:
         """Simulated seconds since the run started."""
         return self.session.elapsed_s
 
-    def _kv_tokens(self, tokens: int) -> int:
-        """Chunk-rounded KV capacity covering ``tokens``."""
-        return align_up(max(tokens, 1), self.config.kv_chunk_tokens)
-
-    def _kv_size(self, tokens: int) -> int:
-        return kv_bytes(self.model, self._kv_tokens(tokens))
-
     # ------------------------------------------------------------------
     # Lifecycle transitions
     # ------------------------------------------------------------------
-    def _alloc_kv(self, request: ServeRequest, capacity_tokens: int) -> bool:
-        """Allocate a fresh KV block; retry once after ``empty_cache``."""
-        name = f"kv{request.req_id}.{request.kv_generation + 1}"
-        size = kv_bytes(self.model, capacity_tokens)
-        ok = self.session.try_alloc(name, size)
-        if not ok:
-            self.allocator.empty_cache()
-            ok = self.session.try_alloc(name, size)
-        if not ok:
-            return False
-        if request.kv_name is not None:
-            # Chunked re-alloc: the copy finished, drop the old block.
-            self.session.free(request.kv_name)
-        request.kv_generation += 1
-        request.kv_name = name
-        request.kv_capacity_tokens = capacity_tokens
-        return True
-
-    def _release_kv(self, request: ServeRequest) -> None:
-        if request.kv_name is not None:
-            self.session.free(request.kv_name)
-            request.kv_name = None
-            request.kv_capacity_tokens = 0
-
     def _finish(self, request: ServeRequest,
                 running: List[ServeRequest]) -> None:
-        self._release_kv(request)
+        self.kv.release(request)
         running.remove(request)
         request.state = RequestState.FINISHED
         request.finished_s = self._now()
 
     def _reject(self, request: ServeRequest, reason: str) -> None:
-        self._release_kv(request)
+        self.kv.release(request)
         request.state = RequestState.REJECTED
         request.rejected_s = self._now()
         request.reject_reason = reason
@@ -257,7 +244,7 @@ class ServingSimulator:
     def _preempt(self, request: ServeRequest, running: List[ServeRequest],
                  queue: List[ServeRequest]) -> None:
         """Evict a running request: free its KV, requeue (or reject)."""
-        self._release_kv(request)
+        self.kv.release(request, preempted=True)
         if request in running:
             running.remove(request)
         request.preemptions += 1
@@ -274,7 +261,7 @@ class ServingSimulator:
                    running: List[ServeRequest]) -> bool:
         """Admit: allocate prompt KV, run prefill, emit the first token."""
         context = request.context_tokens
-        if not self._alloc_kv(request, self._kv_tokens(context + 1)):
+        if not self.kv.admit(request):
             return False
         if request.admitted_s is None:
             request.admitted_s = self._now()
@@ -298,8 +285,7 @@ class ServingSimulator:
             view = SchedulerView(
                 allocator=self.allocator, model=self.model,
                 running=len(running), max_batch=self.config.max_batch,
-                capacity=self.capacity,
-                kv_chunk_tokens=self.config.kv_chunk_tokens,
+                capacity=self.capacity, kv=self.kv,
             )
             request = self.scheduler.select(queue, view)
             if request is None:
@@ -342,14 +328,13 @@ class ServingSimulator:
     # ------------------------------------------------------------------
     def _grow_kv(self, request: ServeRequest, running: List[ServeRequest],
                  queue: List[ServeRequest]) -> bool:
-        """Grow the KV block by one chunk; preempt on OOM.
+        """Grow the request's KV capacity; preempt on OOM.
 
         Returns ``False`` when ``request`` itself had to be preempted
         (no other victim could free enough memory).
         """
-        new_capacity = request.kv_capacity_tokens + self.config.kv_chunk_tokens
         while True:
-            if self._alloc_kv(request, new_capacity):
+            if self.kv.grow(request):
                 return True
             victims = [r for r in running if r is not request]
             if not victims:
@@ -383,6 +368,7 @@ class ServingSimulator:
                 continue
             if request.context_tokens + 1 > request.kv_capacity_tokens:
                 self._grow_kv(request, running, queue)
+        self.kv.note_decode_step(running)
         if self.config.record_timeline:
             self.session.sample()
 
@@ -437,6 +423,8 @@ class ServingSimulator:
             stats=self.allocator.stats(),
             timeline=list(self.session.timeline),
             replica_id=self.replica_id,
+            kv_cache_name=self.kv.name,
+            kv_metrics=self.kv.metrics,
         )
 
 
@@ -447,9 +435,10 @@ def run_serving(
     capacity: int = A100_80GB,
     scheduler: Union[str, Scheduler] = "fcfs",
     config: Optional[ServingConfig] = None,
+    kv_cache: KVCacheLike = "chunked",
 ) -> ServingResult:
     """Convenience wrapper: build one replica and serve ``requests``."""
     simulator = ServingSimulator(model, allocator=allocator,
                                  capacity=capacity, scheduler=scheduler,
-                                 config=config)
+                                 config=config, kv_cache=kv_cache)
     return simulator.run(requests)

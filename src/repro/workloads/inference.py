@@ -64,6 +64,14 @@ class ServingWorkload:
         Admission cap on concurrently running requests.
     mean_prompt / mean_output:
         Means of the sampled prompt and output token counts.
+    kv_cache:
+        KV-cache layout spec (:class:`repro.serve.kvcache.KVCacheSpec`
+        mini-DSL).  ``"chunked"`` (default) allocates one contiguous KV
+        tensor per request — sizes never repeat, the pool-fragmentation
+        stress case.  ``"paged?block_tokens=16"`` allocates fixed-size
+        blocks per request instead — every allocation is the same size,
+        so the offline replay shows what cache-level defragmentation
+        does to pool metrics.
     seed:
         RNG seed; the trace is a deterministic function of the config.
     """
@@ -73,6 +81,7 @@ class ServingWorkload:
     max_batch: int = 16
     mean_prompt: int = 512
     mean_output: int = 256
+    kv_cache: str = "chunked"
     seed: int = 0
 
     def __post_init__(self):
@@ -82,6 +91,18 @@ class ServingWorkload:
             raise ValueError("n_requests must be >= 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        # Validate and canonicalize the KV layout spec up front (lazy
+        # import: repro.serve pulls in this module for kv_bytes).
+        from repro.serve.kvcache import KVCacheSpec, get_kv_cache_info
+
+        spec = KVCacheSpec.parse(self.kv_cache)
+        self.kv_cache = spec.spec_string()
+        self._block_tokens = 0
+        if spec.name == "paged":
+            default = next(p.default
+                           for p in get_kv_cache_info("paged").params
+                           if p.name == "block_tokens")
+            self._block_tokens = spec.params.get("block_tokens", default)
 
     def _sample_len(self, rng: random.Random, mean: int) -> int:
         """Heavy-tailed length sample, clamped to the model context."""
@@ -103,9 +124,29 @@ class ServingWorkload:
             "n_requests": self.n_requests,
             "max_batch": self.max_batch,
             "global_batch": self.max_batch,
+            "kv_cache": self.kv_cache,
             "label": f"{model.name}/serving/{self.n_requests}req",
         })
         trace.alloc("weights", model.weight_bytes)
+
+        def admit_kv(req_id: int, tokens: int) -> None:
+            if self._block_tokens:
+                # Paged layout: fixed-size blocks, one per block-table
+                # slot — the pool only ever sees one allocation size.
+                blocks = -(-tokens // self._block_tokens)
+                for j in range(blocks):
+                    trace.alloc(f"kv{req_id}.b{j}",
+                                kv_bytes(model, self._block_tokens))
+            else:
+                trace.alloc(f"kv{req_id}", kv_bytes(model, tokens))
+
+        def retire_kv(req_id: int, tokens: int) -> None:
+            if self._block_tokens:
+                blocks = -(-tokens // self._block_tokens)
+                for j in range(blocks):
+                    trace.free(f"kv{req_id}.b{j}")
+            else:
+                trace.free(f"kv{req_id}")
 
         # Pre-sample every request's lifetime.
         requests = []
@@ -113,6 +154,7 @@ class ServingWorkload:
             prompt = self._sample_len(rng, self.mean_prompt)
             output = self._sample_len(rng, self.mean_output)
             requests.append((i, prompt, output))
+        total_by_id = {i: prompt + output for i, prompt, output in requests}
 
         running: List[List[int]] = []  # [request id, remaining steps]
         admitted = 0
@@ -123,7 +165,7 @@ class ServingWorkload:
             # Admit up to the batch cap.
             while admitted < self.n_requests and len(running) < self.max_batch:
                 req_id, prompt, output = requests[admitted]
-                trace.alloc(f"kv{req_id}", kv_bytes(model, prompt + output))
+                admit_kv(req_id, prompt + output)
                 running.append([req_id, output])
                 admitted += 1
             # One decode step for the whole batch.
@@ -135,7 +177,7 @@ class ServingWorkload:
             for entry in list(running):
                 entry[1] -= 1
                 if entry[1] <= 0:
-                    trace.free(f"kv{entry[0]}")
+                    retire_kv(entry[0], total_by_id[entry[0]])
                     running.remove(entry)
             step += 1
         trace.iter_end(0)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import resolve_allocator
 from repro.gpu.device import GpuDevice
 from repro.serve import (
     SCHEDULER_FACTORIES,
@@ -10,9 +11,9 @@ from repro.serve import (
     SchedulerView,
     ShortestPromptScheduler,
     make_scheduler,
+    resolve_kv_cache,
 )
 from repro.serve.request import ServeRequest
-from repro.sim.engine import make_allocator
 from repro.units import GB
 from repro.workloads import get_model
 from repro.workloads.inference import kv_bytes
@@ -23,12 +24,14 @@ def request(req_id, prompt=256, output=128, arrival=0.0):
                         prompt_tokens=prompt, output_tokens=output)
 
 
-def view_on(capacity=4 * GB, model="opt-1.3b"):
+def view_on(capacity=4 * GB, model="opt-1.3b", kv_cache="chunked"):
     device = GpuDevice(capacity=capacity)
-    allocator = make_allocator("caching", device)
+    allocator = resolve_allocator("caching", device)
+    spec = get_model(model)
+    kv = resolve_kv_cache(kv_cache, spec, default_chunk_tokens=256)
     return SchedulerView(
-        allocator=allocator, model=get_model(model), running=0,
-        max_batch=16, capacity=capacity, kv_chunk_tokens=256,
+        allocator=allocator, model=spec, running=0,
+        max_batch=16, capacity=capacity, kv=kv,
     ), allocator
 
 
@@ -122,3 +125,25 @@ class TestSchedulerView:
         assert view.projected_kv_bytes(exact) == kv_bytes(model, 256)
         over = request(2, prompt=200, output=57)
         assert view.projected_kv_bytes(over) == kv_bytes(model, 512)
+
+    def test_paged_projection_counts_whole_blocks(self):
+        view, _ = view_on(kv_cache="paged?block_tokens=16")
+        model = get_model("opt-1.3b")
+        tiny = request(0, prompt=17, output=1)      # 18 tokens -> 2 blocks
+        assert view.projected_kv_bytes(tiny) == kv_bytes(model, 32)
+        exact = request(1, prompt=200, output=56)   # 256 -> 16 blocks
+        assert view.projected_kv_bytes(exact) == kv_bytes(model, 256)
+
+    def test_paged_headroom_is_block_quantized_and_fully_reuses_pool(self):
+        """Idle pool memory counts in full under paged KV (exact-fit
+        blocks), where chunked KV discounts it — the admission-side
+        face of cache-level defragmentation."""
+        paged, allocator = view_on(kv_cache="paged?block_tokens=16")
+        chunked, chunked_alloc = view_on()
+        for alloc in (allocator, chunked_alloc):
+            hoard = alloc.malloc(3 * GB)
+            alloc.free(hoard)  # reserved stays ~3 GB, active 0
+        assert paged.headroom_bytes() % paged.kv.block_bytes == 0
+        assert paged.headroom_bytes() > chunked.headroom_bytes()
+        free = paged.kv.free_blocks(allocator.stats(), paged.capacity)
+        assert free * paged.kv.block_bytes == paged.headroom_bytes()

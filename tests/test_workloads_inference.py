@@ -3,7 +3,8 @@
 import pytest
 
 from repro.sim import run_workload
-from repro.sim.engine import make_allocator, run_trace
+from repro.api import resolve_allocator
+from repro.sim.engine import run_trace
 from repro.gpu.device import GpuDevice
 from repro.workloads import TrainingWorkload, ZeroConfig, get_model
 from repro.workloads.inference import ServingWorkload, kv_bytes
@@ -78,8 +79,8 @@ class TestServingTrace:
         workload = ServingWorkload("opt-6.7b", n_requests=120, max_batch=16,
                                    seed=3)
         trace = workload.build_trace()
-        base = run_trace(make_allocator("caching", GpuDevice()), trace)
-        gml = run_trace(make_allocator("gmlake", GpuDevice()), trace)
+        base = run_trace(resolve_allocator("caching", GpuDevice()), trace)
+        gml = run_trace(resolve_allocator("gmlake", GpuDevice()), trace)
         assert not base.oom and not gml.oom
         assert gml.utilization_ratio >= base.utilization_ratio
         assert gml.utilization_ratio > 0.9
