@@ -3,7 +3,12 @@
 Unlike the figure benches (which measure *simulated* time), this bench
 uses pytest-benchmark's actual timing to track the Python-level cost of
 the allocator fast paths — the converged exact-match cycle the paper's
-§4.2.2 relies on being cheap.
+§4.2.2 relies on being cheap — plus the two hot-path overhaul regimes:
+a large pool (10k+ free blocks, where O(n) list memmoves used to
+dominate) and the serving decode-step loop.  The absolute-number
+harness with before/after speedups is ``benchmarks/hotpaths.py``
+(writes ``BENCH_hotpaths.json``); these pytest-benchmark variants give
+per-op statistics for trend tracking.
 """
 
 import pytest
@@ -65,3 +70,57 @@ def test_gmlake_cold_stitch_cycle(benchmark):
         allocator.free(big)
         allocator.malloc(32 * MB)  # split
     benchmark(run)
+
+
+# ----------------------------------------------------------------------
+# Hot-path overhaul regimes (PR 4)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def large_pool_caching():
+    """A BFC pool holding >10k cached free blocks.
+
+    Built once per module: alternating frees leave no coalescable
+    neighbours, so the pool keeps every second block cached.
+    """
+    allocator = CachingAllocator(GpuDevice(capacity=256 * GB))
+    held = []
+    for i in range(24_000):
+        held.append(allocator.malloc(2 * MB + (i % 997) * 4096))
+    for i in range(0, len(held), 2):
+        allocator.free(held[i])
+    assert allocator.free_block_count() > 10_000
+    return allocator
+
+
+def test_caching_large_pool_malloc_free(benchmark, large_pool_caching):
+    """Best-fit + split + re-coalesce against a 10k-block pool.
+
+    The state-stable cycle: the malloc splits a cached block, the free
+    merges the pieces back, so the pool returns to its initial shape
+    every round — pre-overhaul each round paid four O(n) memmoves.
+    """
+    allocator = large_pool_caching
+    before = allocator.free_block_count()
+
+    def cycle():
+        allocation = allocator.malloc(1536 * 1024 + 31 * 1024)
+        allocator.free(allocation)
+
+    benchmark(cycle)
+    assert allocator.free_block_count() == before
+
+
+def test_serving_decode_step_loop(benchmark):
+    """One short online-serving run: the per-decode-step hot loop
+    (admissions, KV growth, workspace churn, timeout bookkeeping)."""
+    from repro.serve import LengthSampler, PoissonArrivals, run_serving
+
+    def run():
+        arrivals = PoissonArrivals(rate_per_s=4.0)
+        lengths = LengthSampler(mean_prompt=512, mean_output=256)
+        requests = arrivals.generate(40, lengths, seed=0)
+        return run_serving(requests, "opt-1.3b", allocator="caching",
+                           capacity=8 * GB, scheduler="memory-aware")
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.completed == 40

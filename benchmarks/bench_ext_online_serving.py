@@ -10,9 +10,12 @@ GMLake's stitched pool does — the paper's §6 serving argument, made
 measurable.
 """
 
+import os
+
 from repro.analysis import format_table
 from repro.analysis.serving import goodput_vs_rate_rows
-from repro.serve import PoissonArrivals, ServingConfig, SloConfig, run_serving
+from repro.api import ExperimentSpec, ServingSpec, run_sweep
+from repro.serve import SloConfig
 from repro.units import GB
 
 MODEL = "opt-1.3b"
@@ -22,18 +25,32 @@ N_REQUESTS = 80
 ALLOCATORS = ("caching", "expandable", "gmlake")
 SEED = 1
 
+#: Sweep workers for the rate x allocator grid (0 = one per core).
+#: Every point has a fixed seed, so results are identical at any value.
+JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "0")) or None
+
 
 def measure():
+    points = [
+        ExperimentSpec(
+            mode="serve", allocators=[name], capacity=CAPACITY,
+            serving=ServingSpec(
+                model=MODEL, arrival="poisson", rate_per_s=rate,
+                n_requests=N_REQUESTS, scheduler="memory-aware",
+                max_batch=16, queue_timeout_s=30.0, seed=SEED,
+            ),
+        )
+        for rate in RATES
+        for name in ALLOCATORS
+    ]
+    # Walk the outcomes with the same nested loop that built the
+    # points, so cell attribution can never drift from the grid order.
+    outcomes = iter(run_sweep(points, jobs=JOBS))
     cells = []
     for rate in RATES:
         by_allocator = {}
         for name in ALLOCATORS:
-            stream = PoissonArrivals(rate_per_s=rate).generate(
-                N_REQUESTS, seed=SEED)
-            config = ServingConfig(max_batch=16, queue_timeout_s=30.0)
-            result = run_serving(stream, MODEL, allocator=name,
-                                 capacity=CAPACITY, config=config,
-                                 scheduler="memory-aware")
+            result = next(outcomes)[0].raw
             by_allocator[name] = result.report(SloConfig())
         cells.append((rate, by_allocator))
     return cells

@@ -17,9 +17,12 @@ fragmentation in each request's last block (an order of magnitude
 smaller at block_tokens=16).
 """
 
+import os
+
 from repro.analysis import format_table
 from repro.analysis.serving import format_defrag_comparison
-from repro.serve import PoissonArrivals, ServingConfig, SloConfig, run_serving
+from repro.api import ExperimentSpec, ServingSpec, run_sweep
+from repro.serve import SloConfig
 from repro.units import GB
 
 MODEL = "opt-1.3b"
@@ -34,18 +37,33 @@ CONFIGS = (
     ("caching+paged", "caching", "paged?block_tokens=16"),
 )
 
+#: Sweep workers for the rate x config grid (0 = one per core).
+#: Every point has a fixed seed, so results are identical at any value.
+JOBS = int(os.environ.get("REPRO_SWEEP_JOBS", "0")) or None
+
 
 def measure():
+    points = [
+        ExperimentSpec(
+            mode="serve", allocators=[allocator], capacity=CAPACITY,
+            serving=ServingSpec(
+                model=MODEL, arrival="poisson", rate_per_s=rate,
+                n_requests=N_REQUESTS, scheduler="memory-aware",
+                max_batch=16, queue_timeout_s=30.0, seed=SEED,
+                kv_cache=kv_cache,
+            ),
+        )
+        for rate in RATES
+        for _, allocator, kv_cache in CONFIGS
+    ]
+    # Walk the outcomes with the same nested loop that built the
+    # points, so cell attribution can never drift from the grid order.
+    outcomes = iter(run_sweep(points, jobs=JOBS))
     cells = []
     for rate in RATES:
         by_config = {}
-        for label, allocator, kv_cache in CONFIGS:
-            stream = PoissonArrivals(rate_per_s=rate).generate(
-                N_REQUESTS, seed=SEED)
-            config = ServingConfig(max_batch=16, queue_timeout_s=30.0)
-            by_config[label] = run_serving(
-                stream, MODEL, allocator=allocator, capacity=CAPACITY,
-                config=config, scheduler="memory-aware", kv_cache=kv_cache)
+        for label, _, _ in CONFIGS:
+            by_config[label] = next(outcomes)[0].raw
         cells.append((rate, by_config))
     return cells
 

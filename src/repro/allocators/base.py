@@ -23,7 +23,7 @@ from repro.errors import (
 from repro.gpu.device import GpuDevice
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Allocation:
     """A live allocation handed to a client (one tensor's storage).
 
@@ -137,7 +137,9 @@ class BaseAllocator(ABC):
         self._free_impl(allocation)
         self._counters.free_count += 1
         self.active_bytes -= allocation.rounded_size
-        self._update_reserved_peak()
+        # No reserved-peak update here: freeing never commits new
+        # physical memory, so the peak (a ratchet over reserved_bytes,
+        # which only grows inside _malloc_impl) cannot move.
         for observer in self._observers:
             observer.on_free(self, allocation)
 

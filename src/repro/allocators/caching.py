@@ -30,7 +30,7 @@ from typing import Dict, Optional
 from repro.allocators.base import Allocation, BaseAllocator
 from repro.errors import CudaOutOfMemoryError, OutOfMemoryError
 from repro.gpu.device import GpuDevice
-from repro.sortedlist import SortedKeyList
+from repro.sortedlist import ChunkedSortedKeyList
 from repro.units import MB, align_up
 
 # PyTorch CUDACachingAllocator constants.
@@ -106,13 +106,14 @@ class CachingAllocator(BaseAllocator):
 
     def __init__(self, device: GpuDevice):
         super().__init__(device, name="caching")
-        self._free_pools: Dict[str, SortedKeyList[Block]] = {
-            "small": SortedKeyList(key=lambda b: (b.size, b.ptr)),
-            "large": SortedKeyList(key=lambda b: (b.size, b.ptr)),
+        self._free_pools: Dict[str, ChunkedSortedKeyList[Block]] = {
+            "small": ChunkedSortedKeyList(key=lambda b: (b.size, b.ptr)),
+            "large": ChunkedSortedKeyList(key=lambda b: (b.size, b.ptr)),
         }
         self._blocks_by_ptr: Dict[int, Block] = {}
         self._segments: Dict[int, Segment] = {}
         self._reserved = 0
+        self._cached_bytes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -131,8 +132,22 @@ class CachingAllocator(BaseAllocator):
         return sum(len(p) for p in self._free_pools.values())
 
     def cached_bytes(self) -> int:
-        """Total bytes of free (inactive) blocks held in the pools."""
-        return sum(b.size for p in self._free_pools.values() for b in p)
+        """Total bytes of free (inactive) blocks held in the pools.
+
+        Maintained incrementally by :meth:`_pool_add` /
+        :meth:`_pool_remove` instead of re-summing the pools per query.
+        """
+        return self._cached_bytes
+
+    # -- every pool entry/exit goes through these two, so the byte
+    # -- counter can never drift from the pool contents.
+    def _pool_add(self, pool: str, block: Block) -> None:
+        self._free_pools[pool].add(block)
+        self._cached_bytes += block.size
+
+    def _pool_remove(self, pool: str, block: Block) -> None:
+        self._free_pools[pool].remove(block)
+        self._cached_bytes -= block.size
 
     # ------------------------------------------------------------------
     # Allocation
@@ -155,7 +170,7 @@ class CachingAllocator(BaseAllocator):
         best = self._free_pools[pool].first_at_least((rounded, 0))
         if best is None:
             return None
-        self._free_pools[pool].remove(best)
+        self._pool_remove(pool, best)
         return best
 
     def _alloc_new_segment(self, rounded: int, pool: str) -> Block:
@@ -201,7 +216,7 @@ class CachingAllocator(BaseAllocator):
         block.size = rounded
         block.segment.n_blocks += 1
         self._blocks_by_ptr[remainder.ptr] = remainder
-        self._free_pools[block.segment.pool].add(remainder)
+        self._pool_add(block.segment.pool, remainder)
         return block
 
     # ------------------------------------------------------------------
@@ -217,14 +232,14 @@ class CachingAllocator(BaseAllocator):
             )
         block.allocated = False
         block = self._coalesce(block)
-        self._free_pools[block.segment.pool].add(block)
+        self._pool_add(block.segment.pool, block)
 
     def _coalesce(self, block: Block) -> Block:
         """Merge ``block`` with free address-adjacent neighbours."""
-        pool = self._free_pools[block.segment.pool]
+        pool = block.segment.pool
         nxt = block.next
         if nxt is not None and not nxt.allocated:
-            pool.remove(nxt)
+            self._pool_remove(pool, nxt)
             del self._blocks_by_ptr[nxt.ptr]
             block.size += nxt.size
             block.next = nxt.next
@@ -233,7 +248,7 @@ class CachingAllocator(BaseAllocator):
             block.segment.n_blocks -= 1
         prv = block.prev
         if prv is not None and not prv.allocated:
-            pool.remove(prv)
+            self._pool_remove(pool, prv)
             del self._blocks_by_ptr[block.ptr]
             prv.size += block.size
             prv.next = block.next
@@ -256,10 +271,10 @@ class CachingAllocator(BaseAllocator):
         Returns the number of bytes released.
         """
         released = 0
-        for pool in self._free_pools.values():
+        for pool_name, pool in self._free_pools.items():
             for block in pool.as_list():
                 if block.is_whole_segment():
-                    pool.remove(block)
+                    self._pool_remove(pool_name, block)
                     del self._blocks_by_ptr[block.ptr]
                     del self._segments[block.segment.ptr]
                     self.device.runtime.cuda_free(block.segment.ptr)
@@ -290,5 +305,9 @@ class CachingAllocator(BaseAllocator):
                 assert block.next.allocated, "adjacent free blocks not coalesced"
         # Reserved equals the sum of segment sizes.
         assert self._reserved == sum(s.size for s in self._segments.values())
+        # The incremental cached-bytes counter matches a full re-sum.
+        assert self._cached_bytes == sum(
+            b.size for p in self._free_pools.values() for b in p
+        ), "cached_bytes counter out of sync with the free pools"
         for pool in self._free_pools.values():
             assert pool.check_sorted()

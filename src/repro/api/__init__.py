@@ -14,6 +14,10 @@ Three layers, each usable alone:
   offline replay, multi-rank cluster runs and online serving through
   one code path, returning :class:`ExperimentResult` adapters that all
   satisfy the :class:`RunResult` protocol.
+* **Sweeps** (:mod:`repro.api.sweep`) — :func:`run_sweep` fans
+  independent experiment points over worker processes (results are
+  byte-identical at any job count) and :func:`sweep_rows` merges any
+  mix of modes into uniform tables via the :class:`RunResult` surface.
 
 Quick start::
 
@@ -63,6 +67,12 @@ from repro.api.spec import (
     resolve_allocator,
     spec_label,
 )
+from repro.api.sweep import (
+    expand_spec_points,
+    run_sweep,
+    sweep_point_label,
+    sweep_rows,
+)
 
 __all__ = [
     "AllocatorInfo",
@@ -81,11 +91,15 @@ __all__ = [
     "allocator_names",
     "allocator_registry",
     "canonical_name",
+    "expand_spec_points",
     "get_allocator_info",
     "iter_allocators",
     "register_allocator",
     "resolve_allocator",
     "run",
     "run_result_row",
+    "run_sweep",
     "spec_label",
+    "sweep_point_label",
+    "sweep_rows",
 ]

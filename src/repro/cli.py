@@ -3,7 +3,8 @@
 Commands
 --------
 compare          Run one workload under several allocator specs side by side.
-run              Run a JSON experiment file (any mode) via ``repro.api``.
+run              Run a JSON experiment file (any mode) via ``repro.api``;
+                 ``--sweep --jobs N`` fans the points over N processes.
 sweep            Sweep one axis (strategies / gpus / batch) of a workload.
 trace            Generate a workload's allocation trace to a JSONL file.
 replay           Replay a JSONL trace against an allocator spec.
@@ -21,6 +22,7 @@ Examples
 python -m repro compare --model opt-13b --batch 4 --gpus 4 --strategies LR \\
     --allocators "caching,gmlake?chunk_mb=512&stitching=off"
 python -m repro run --spec experiment.json
+python -m repro run --spec sweep.json --sweep --jobs 4
 python -m repro sweep --axis gpus --model opt-13b --values 1,2,4,8,16
 python -m repro trace --model gpt-2 --batch 8 --out /tmp/gpt2.jsonl
 python -m repro replay --in /tmp/gpt2.jsonl --allocator "gmlake?spool=64"
@@ -48,8 +50,11 @@ from repro.api import (
     ExperimentSpec,
     SpecError,
     allocator_names,
+    expand_spec_points,
     iter_allocators,
     run_result_row,
+    run_sweep,
+    sweep_rows,
 )
 from repro.api import run as run_experiment
 from repro.errors import AllocatorError
@@ -137,7 +142,52 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sweep_file(path: str, jobs: Optional[int]) -> int:
+    """Run a sweep file (a JSON list of experiments, or one experiment
+    expanded into per-allocator points) across ``jobs`` processes."""
+    import json as _json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        data = _json.loads(text)
+    except _json.JSONDecodeError as exc:
+        # Same clean SpecError path the non-sweep `run` takes.
+        raise SpecError(f"invalid JSON in sweep spec: {exc}") from exc
+    if jobs is not None and jobs < 1:
+        if jobs == 0:
+            jobs = None  # the benches' REPRO_SWEEP_JOBS=0 'auto' idiom
+        else:
+            raise SpecError(f"--jobs must be >= 1 (or 0 for auto), got {jobs}")
+    if isinstance(data, list):
+        specs = []
+        for i, point in enumerate(data):
+            if not isinstance(point, dict):
+                raise SpecError(
+                    f"sweep point #{i} must be a JSON object, "
+                    f"got {type(point).__name__}")
+            specs.append(ExperimentSpec.from_dict(point))
+    elif isinstance(data, dict):
+        specs = expand_spec_points(ExperimentSpec.from_dict(data))
+    else:
+        raise SpecError(
+            "sweep spec must be a JSON object or list, "
+            f"got {type(data).__name__}")
+    results = run_sweep(specs, jobs=jobs)
+    effective = jobs if jobs is not None else "auto"
+    print(format_table(
+        sweep_rows(specs, results),
+        title=f"sweep: {len(specs)} points (jobs={effective})"))
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.sweep:
+        return _run_sweep_file(args.spec, args.jobs)
+    if args.jobs is not None:
+        print("run: --jobs requires --sweep (a single experiment "
+              "runs in-process)", file=sys.stderr)
+        return 2
     return _run_spec_file(args.spec)
 
 
@@ -382,7 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="run a JSON experiment file")
     p.add_argument("--spec", required=True,
                    help="path to an ExperimentSpec JSON file "
-                        "(see repro.api.ExperimentSpec)")
+                        "(see repro.api.ExperimentSpec); with --sweep, "
+                        "may also be a JSON list of experiments")
+    p.add_argument("--sweep", action="store_true",
+                   help="treat the file as a sweep: run one point per "
+                        "experiment (or per allocator) in parallel")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="sweep worker processes (default: cpu count)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="sweep one workload axis")

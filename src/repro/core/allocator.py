@@ -211,9 +211,9 @@ class GMLakeAllocator(BaseAllocator):
         self.ppool.add(left)
         self.ppool.add(right)
         for sblock in referencing:
-            sblock.replace_member(block, [left, right])
-            left.sblock_refs += 1
-            right.sblock_refs += 1
+            self.spool.replace_member(sblock, block, [left, right])
+            self.ppool.adjust_refs(left, +1)
+            self.ppool.adjust_refs(right, +1)
         self.counters.splits += 1
         return left, right
 
@@ -222,7 +222,7 @@ class GMLakeAllocator(BaseAllocator):
         sblock = SBlock.stitch(self.device, members)
         sblock.last_used = self._tick
         for member in members:
-            member.sblock_refs += 1
+            self.ppool.adjust_refs(member, +1)
         self.spool.add(sblock)
         self.counters.stitches += 1
         # The new sBlock is not yet assigned (its members are still
@@ -234,7 +234,7 @@ class GMLakeAllocator(BaseAllocator):
         """StitchFree — drop one sBlock structure (VA only)."""
         self.spool.remove(sblock)
         for member in sblock.members:
-            member.sblock_refs -= 1
+            self.ppool.adjust_refs(member, -1)
         sblock.destroy(self.device)
         self.counters.stitch_frees += 1
 
@@ -261,14 +261,26 @@ class GMLakeAllocator(BaseAllocator):
     # ------------------------------------------------------------------
     # Assignment and deallocation module
     # ------------------------------------------------------------------
+    def _activate(self, pblock: PBlock) -> None:
+        """Flip one pBlock active, notifying both pool indexes."""
+        if not pblock.active:
+            self.ppool.mark_active(pblock)
+            self.spool.member_activated(pblock)
+
+    def _deactivate(self, pblock: PBlock) -> None:
+        """Flip one pBlock inactive, notifying both pool indexes."""
+        if pblock.active:
+            self.ppool.mark_inactive(pblock)
+            self.spool.member_deactivated(pblock)
+
     def _assign(self, block: Block, rounded: int) -> "tuple[int, int]":
         block.last_used = self._tick
         block.owner_id = self._next_id  # the Allocation id BaseAllocator will use
         if isinstance(block, PBlock):
-            block.active = True
+            self._activate(block)
         else:
             for member in block.members:
-                member.active = True
+                self._activate(member)
                 member.last_used = self._tick
         self._assigned[block.va] = block
         return block.va, rounded
@@ -285,10 +297,10 @@ class GMLakeAllocator(BaseAllocator):
         block.owner_id = None
         block.last_used = self._tick
         if isinstance(block, PBlock):
-            block.active = False
+            self._deactivate(block)
         else:
             for member in block.members:
-                member.active = False
+                self._deactivate(member)
                 member.last_used = self._tick
 
     # ------------------------------------------------------------------

@@ -1,19 +1,32 @@
 """The primitive and stitched memory pools (§3.2, Figure 8).
 
 Both pools are ordered sets sorted by block size — the paper sorts
-descending; we store ascending and iterate in reverse where the
-algorithm wants largest-first.  The pools hold *all* blocks (active and
-inactive); BestFit filters to inactive ones, mirroring the paper's
-"Inactive sBlocks and pBlocks" input.
+descending; the pPool's *inactive index* is stored descending outright
+so BestFit's scan order is a straight copy.  The pools hold *all*
+blocks (active and inactive) plus live **indexes** maintained
+incrementally so the per-malloc hot path never re-filters or re-sorts:
+
+* ``PPool`` keeps an inactive view keyed ``(-size, sblock_refs, id)``
+  (BestFit's exact scan order) and running ``total_bytes`` /
+  ``inactive_bytes`` counters;
+* ``SPool`` keeps a pBlock→sBlocks back-index (``referencing`` without
+  scanning every sBlock), a per-sBlock active-member count, and an
+  inactive view keyed ``(size, id)``.
+
+State changes must flow through the pool API (``mark_active`` /
+``mark_inactive`` / ``adjust_refs`` on the pPool, ``member_activated``
+/ ``member_deactivated`` / ``replace_member`` on the sPool) so the
+indexes can never drift from the block flags — ``check_invariants``
+re-derives everything from scratch and asserts agreement.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.core.pblock import PBlock
 from repro.core.sblock import SBlock
-from repro.sortedlist import SortedKeyList
+from repro.sortedlist import ChunkedSortedKeyList
 
 
 class PPool:
@@ -25,9 +38,17 @@ class PPool:
     """
 
     def __init__(self):
-        self._blocks: SortedKeyList[PBlock] = SortedKeyList(
+        self._blocks: ChunkedSortedKeyList[PBlock] = ChunkedSortedKeyList(
             key=lambda b: (b.size, b.id)
         )
+        # Live inactive view in BestFit scan order: largest first, then
+        # fewest sBlock references, then id.  ``sblock_refs`` is part of
+        # the key, so every refs change must go through ``adjust_refs``.
+        self._inactive: ChunkedSortedKeyList[PBlock] = ChunkedSortedKeyList(
+            key=lambda b: (-b.size, b.sblock_refs, b.id)
+        )
+        self._total_bytes = 0
+        self._inactive_bytes = 0
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -38,21 +59,57 @@ class PPool:
     def add(self, block: PBlock) -> None:
         """Insert a pBlock (after Alloc or Split)."""
         self._blocks.add(block)
+        self._total_bytes += block.size
+        if not block.active:
+            self._inactive.add(block)
+            self._inactive_bytes += block.size
 
     def remove(self, block: PBlock) -> None:
         """Remove a pBlock (before Split rebuilds it, or on release)."""
         self._blocks.remove(block)
+        self._total_bytes -= block.size
+        if not block.active:
+            self._inactive.remove(block)
+            self._inactive_bytes -= block.size
 
+    # ------------------------------------------------------------------
+    # State transitions — the only way flags may change while pooled
+    # ------------------------------------------------------------------
+    def mark_active(self, block: PBlock) -> None:
+        """Flip ``block`` to active, maintaining the inactive index."""
+        if block.active:
+            return
+        self._inactive.remove(block)
+        self._inactive_bytes -= block.size
+        block.active = True
+
+    def mark_inactive(self, block: PBlock) -> None:
+        """Flip ``block`` to inactive, maintaining the inactive index."""
+        if not block.active:
+            return
+        block.active = False
+        self._inactive.add(block)
+        self._inactive_bytes += block.size
+
+    def adjust_refs(self, block: PBlock, delta: int) -> None:
+        """Change ``block.sblock_refs`` (part of the inactive key)."""
+        if not block.active:
+            self._inactive.remove(block)
+            block.sblock_refs += delta
+            self._inactive.add(block)
+        else:
+            block.sblock_refs += delta
+
+    # ------------------------------------------------------------------
     def inactive_descending(self) -> List[PBlock]:
         """Inactive pBlocks, largest first — BestFit's scan order.
 
         Equal-size blocks are ordered unreferenced-first so stitching
         and splitting consume blocks that no existing sBlock depends on
-        before cannibalizing converged stitch compositions.
+        before cannibalizing converged stitch compositions.  A straight
+        copy of the live index — no filtering, no sorting.
         """
-        blocks = [b for b in self._blocks.items_descending() if not b.active]
-        blocks.sort(key=lambda b: (-b.size, b.sblock_refs, b.id))
-        return blocks
+        return self._inactive.as_list()
 
     def exact_inactive(self, size: int) -> Optional[PBlock]:
         """An inactive pBlock of exactly ``size`` bytes, if any.
@@ -61,34 +118,46 @@ class PPool:
         are preferred: taking an sBlock member would mark the sBlock
         active and force the next request for its stitched size back
         into S2/S3 churn instead of the converged exact-match path.
+        Falls back to the lowest-id candidate, like the pre-index scan.
         """
-        idx = self._blocks.index_at_least((size, 0))
         fallback: Optional[PBlock] = None
-        while idx < len(self._blocks) and self._blocks[idx].size == size:
-            block = self._blocks[idx]
-            if not block.active:
-                if block.sblock_refs == 0:
-                    return block
-                if fallback is None:
-                    fallback = block
-            idx += 1
+        for block in self._inactive.iter_from((-size,)):
+            if block.size != size:
+                break
+            if block.sblock_refs == 0:
+                return block
+            if fallback is None or block.id < fallback.id:
+                fallback = block
         return fallback
 
     @property
     def total_bytes(self) -> int:
-        """Physical bytes owned by all pBlocks."""
-        return sum(b.size for b in self._blocks)
+        """Physical bytes owned by all pBlocks (running counter)."""
+        return self._total_bytes
 
     @property
     def inactive_bytes(self) -> int:
-        """Physical bytes in inactive pBlocks (reusable without Alloc)."""
-        return sum(b.size for b in self._blocks if not b.active)
+        """Physical bytes in inactive pBlocks (running counter)."""
+        return self._inactive_bytes
 
     def check_invariants(self) -> None:
-        """pPool holds no duplicates and stays sorted."""
+        """pPool holds no duplicates, stays sorted, and every index and
+        counter matches a from-scratch recomputation."""
         ids = [b.id for b in self._blocks]
         assert len(ids) == len(set(ids)), "duplicate pBlock in pPool"
         assert self._blocks.check_sorted(), "pPool not sorted"
+        assert self._inactive.check_sorted(), "pPool inactive index not sorted"
+        inactive_ids = {b.id for b in self._inactive}
+        expected = {b.id for b in self._blocks if not b.active}
+        assert inactive_ids == expected, (
+            "pPool inactive index out of sync with block flags"
+        )
+        assert self._total_bytes == sum(b.size for b in self._blocks), (
+            "pPool total_bytes counter drifted"
+        )
+        assert self._inactive_bytes == sum(
+            b.size for b in self._blocks if not b.active
+        ), "pPool inactive_bytes counter drifted"
 
 
 class SPool:
@@ -99,9 +168,18 @@ class SPool:
     """
 
     def __init__(self):
-        self._blocks: SortedKeyList[SBlock] = SortedKeyList(
+        self._blocks: ChunkedSortedKeyList[SBlock] = ChunkedSortedKeyList(
             key=lambda b: (b.size, b.id)
         )
+        self._inactive: ChunkedSortedKeyList[SBlock] = ChunkedSortedKeyList(
+            key=lambda b: (b.size, b.id)
+        )
+        # pBlock id -> sBlocks stitched over it (the back-index behind
+        # ``referencing``).  Per-sBlock active-member counts live on
+        # ``SBlock.pool_active_members`` (O(1) activity instead of an
+        # any() chain per query).
+        self._by_member: Dict[int, List[SBlock]] = {}
+        self._va_bytes = 0
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -112,47 +190,104 @@ class SPool:
     def add(self, block: SBlock) -> None:
         """Insert an sBlock (only Stitch creates these)."""
         self._blocks.add(block)
+        self._va_bytes += block.size
+        for member in block.members:
+            self._by_member.setdefault(member.id, []).append(block)
+        active = sum(1 for m in block.members if m.active)
+        block.pool_active_members = active
+        if active == 0:
+            self._inactive.add(block)
 
     def remove(self, block: SBlock) -> None:
         """Remove an sBlock (StitchFree)."""
         self._blocks.remove(block)
+        self._va_bytes -= block.size
+        for member in block.members:
+            holders = self._by_member[member.id]
+            holders.remove(block)
+            if not holders:
+                del self._by_member[member.id]
+        if block.pool_active_members == 0:
+            self._inactive.remove(block)
 
+    # ------------------------------------------------------------------
+    # Member-state notifications (fired by the allocator's Update path)
+    # ------------------------------------------------------------------
+    def member_activated(self, pblock: PBlock) -> None:
+        """A member pBlock went active: update every referencing sBlock."""
+        holders = self._by_member.get(pblock.id)
+        if holders is None:
+            return
+        for sblock in holders:
+            count = sblock.pool_active_members
+            if count == 0:
+                self._inactive.remove(sblock)
+            sblock.pool_active_members = count + 1
+
+    def member_deactivated(self, pblock: PBlock) -> None:
+        """A member pBlock went inactive: update referencing sBlocks."""
+        holders = self._by_member.get(pblock.id)
+        if holders is None:
+            return
+        for sblock in holders:
+            count = sblock.pool_active_members - 1
+            sblock.pool_active_members = count
+            if count == 0:
+                self._inactive.add(sblock)
+
+    def replace_member(self, sblock: SBlock, old: PBlock,
+                       new_parts: List[PBlock]) -> None:
+        """Swap ``old`` for the pBlocks it was split into, keeping the
+        back-index current.  Split requires ``old`` inactive and the
+        parts inherit that state, so activity counts are unchanged."""
+        sblock.replace_member(old, new_parts)
+        holders = self._by_member[old.id]
+        holders.remove(sblock)
+        if not holders:
+            del self._by_member[old.id]
+        for part in new_parts:
+            self._by_member.setdefault(part.id, []).append(sblock)
+
+    # ------------------------------------------------------------------
     def exact_inactive(self, size: int) -> Optional[SBlock]:
         """An inactive sBlock of exactly ``size`` bytes, if any.
 
         This is the only way an sBlock is ever handed to a tensor (S1:
         "This is the sole situation where an sBlock can be assigned").
         """
-        idx = self._blocks.index_at_least((size, 0))
-        while idx < len(self._blocks) and self._blocks[idx].size == size:
-            block = self._blocks[idx]
-            if not block.active:
-                return block
-            idx += 1
+        block = self._inactive.first_at_least((size, 0))
+        if block is not None and block.size == size:
+            return block
         return None
 
     def inactive_blocks(self) -> List[SBlock]:
         """All inactive sBlocks (StitchFree candidates)."""
-        return [b for b in self._blocks if not b.active]
+        return self._inactive.as_list()
 
     def referencing(self, pblock: PBlock) -> List[SBlock]:
-        """Every sBlock that stitches over ``pblock``."""
-        return [s for s in self._blocks if s.contains(pblock)]
+        """Every sBlock that stitches over ``pblock``, in (size, id)
+        order (the pre-index scan order)."""
+        holders = self._by_member.get(pblock.id)
+        if not holders:
+            return []
+        return sorted(holders, key=lambda s: (s.size, s.id))
 
     def lru_inactive(self) -> Optional[SBlock]:
         """Least-recently-used inactive sBlock (StitchFree victim)."""
-        candidates = self.inactive_blocks()
-        if not candidates:
-            return None
-        return min(candidates, key=lambda s: s.last_used)
+        victim: Optional[SBlock] = None
+        for block in self._inactive:
+            if victim is None or block.last_used < victim.last_used:
+                victim = block
+        return victim
 
     @property
     def total_va_bytes(self) -> int:
-        """Virtual address bytes consumed by all sBlocks."""
-        return sum(b.size for b in self._blocks)
+        """Virtual address bytes consumed by all sBlocks (counter)."""
+        return self._va_bytes
 
     def check_invariants(self, ppool: PPool) -> None:
-        """Every sBlock member is a live pPool block; sPool is sorted."""
+        """Every sBlock member is a live pPool block; every index and
+        count matches a from-scratch recomputation."""
         live = {id(b) for b in ppool}
         for sblock in self._blocks:
             assert len(sblock.members) >= 2, f"sBlock {sblock.id} has <2 members"
@@ -161,4 +296,21 @@ class SPool:
                     f"sBlock {sblock.id} references pBlock {member.id} "
                     "that is not in the pPool"
                 )
+            assert sblock.pool_active_members == sum(
+                1 for m in sblock.members if m.active
+            ), f"sBlock {sblock.id} active-member count drifted"
         assert self._blocks.check_sorted(), "sPool not sorted"
+        assert self._inactive.check_sorted(), "sPool inactive index not sorted"
+        inactive_ids = {b.id for b in self._inactive}
+        expected = {b.id for b in self._blocks if not b.active}
+        assert inactive_ids == expected, (
+            "sPool inactive index out of sync with member activity"
+        )
+        edges = {(pid, id(s)) for pid, holders in self._by_member.items()
+                 for s in holders}
+        expected_edges = {(m.id, id(s)) for s in self._blocks
+                          for m in s.members}
+        assert edges == expected_edges, "sPool member back-index drifted"
+        assert self._va_bytes == sum(b.size for b in self._blocks), (
+            "sPool total_va_bytes counter drifted"
+        )

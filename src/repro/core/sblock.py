@@ -42,7 +42,8 @@ class SBlock:
         ``alloc_id`` of the tensor occupying this sBlock, or None.
     """
 
-    __slots__ = ("id", "va", "size", "members", "last_used", "owner_id")
+    __slots__ = ("id", "va", "size", "members", "last_used", "owner_id",
+                 "pool_active_members")
 
     def __init__(self, va: int, size: int, members: List[PBlock]):
         self.id = next(_sblock_ids)
@@ -51,6 +52,10 @@ class SBlock:
         self.members = members
         self.last_used = 0
         self.owner_id: "int | None" = None
+        # Maintained by the owning SPool: count of currently-active
+        # members, so pool activity checks are O(1) instead of an
+        # any() chain over the members (see SPool.member_activated).
+        self.pool_active_members = 0
 
     # ------------------------------------------------------------------
     @classmethod

@@ -111,11 +111,25 @@ class LatencyModel:
     _create_points: Dict[float, float] = field(init=False, repr=False)
     _map_points: Dict[float, float] = field(init=False, repr=False)
     _access_points: Dict[float, float] = field(init=False, repr=False)
+    _factor_cache: Dict[Tuple[int, float], float] = field(init=False, repr=False)
 
     def __post_init__(self):
         self._create_points = {s: c[0] for s, c in _CALIBRATION.items()}
         self._map_points = {s: c[1] for s, c in _CALIBRATION.items()}
         self._access_points = {s: c[2] for s, c in _CALIBRATION.items()}
+        # Interpolation factors depend only on the (fixed) calibration
+        # tables, while chunk sizes recur millions of times per replay —
+        # memoize the log-log math per (table, size); the unit multiplier
+        # stays live so rescaling ``cu_malloc_2gb_us`` keeps working.
+        self._factor_cache = {}
+
+    def _factor(self, table: int, points: Dict[float, float],
+                size: float) -> float:
+        key = (table, size)
+        cached = self._factor_cache.get(key)
+        if cached is None:
+            cached = self._factor_cache[key] = _loglog_interp(size, points)
+        return cached
 
     # ------------------------------------------------------------------
     # Runtime API (native allocator path)
@@ -146,7 +160,7 @@ class LatencyModel:
 
     def mem_create(self, chunk_size: int) -> float:
         """Latency of one ``cuMemCreate`` of a ``chunk_size`` chunk."""
-        return _loglog_interp(chunk_size, self._create_points) * self._unit_us()
+        return self._factor(0, self._create_points, chunk_size) * self._unit_us()
 
     def mem_release(self, chunk_size: int) -> float:
         """Latency of one ``cuMemRelease`` (cheap: drops a refcount)."""
@@ -154,7 +168,7 @@ class LatencyModel:
 
     def mem_map(self, chunk_size: int) -> float:
         """Latency of one ``cuMemMap`` of a ``chunk_size`` chunk."""
-        return _loglog_interp(chunk_size, self._map_points) * self._unit_us()
+        return self._factor(1, self._map_points, chunk_size) * self._unit_us()
 
     def mem_unmap(self, chunk_size: int) -> float:
         """Latency of one ``cuMemUnmap`` (modelled like map)."""
@@ -162,7 +176,7 @@ class LatencyModel:
 
     def mem_set_access(self, chunk_size: int) -> float:
         """Latency of one ``cuMemSetAccess`` over a ``chunk_size`` range."""
-        return _loglog_interp(chunk_size, self._access_points) * self._unit_us()
+        return self._factor(2, self._access_points, chunk_size) * self._unit_us()
 
     # ------------------------------------------------------------------
     # Convenience aggregates

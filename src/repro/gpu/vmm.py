@@ -27,6 +27,7 @@ Table 1 breakdown are measured.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -136,17 +137,29 @@ class CudaVmm:
                 f"map of {chunk.size} bytes at offset {offset} exceeds "
                 f"reservation at {va:#x}"
             )
-        for m in self._mappings[va]:
-            if offset < m.offset + m.size and m.offset < offset + chunk.size:
-                raise CudaInvalidValueError(
-                    f"overlapping map at {va:#x}+{offset} "
-                    f"(existing mapping at +{m.offset})"
-                )
+        # The per-VA table is kept sorted by offset, so only the two
+        # neighbours of the insertion point can overlap — stitching a
+        # k-chunk sBlock is O(k) instead of O(k^2 log k): every caller
+        # maps chunks in ascending offset order, making the append
+        # fast path the common case.
+        maps = self._mappings[va]
+        last = maps[-1] if maps else None
+        if last is None or offset >= last.offset + last.size:
+            idx = len(maps)
+        else:
+            idx = bisect.bisect_left(maps, offset, key=lambda m: m.offset)
+            for m in (maps[idx - 1] if idx else None,
+                      maps[idx] if idx < len(maps) else None):
+                if m is not None and (offset < m.offset + m.size
+                                      and m.offset < offset + chunk.size):
+                    raise CudaInvalidValueError(
+                        f"overlapping map at {va:#x}+{offset} "
+                        f"(existing mapping at +{m.offset})"
+                    )
         self._spend(self._latency.mem_map(chunk.size))
         self.counters.map_calls += 1
         self._phys.retain(handle)
-        self._mappings[va].append(_Mapping(offset=offset, size=chunk.size, handle=handle))
-        self._mappings[va].sort(key=lambda m: m.offset)
+        maps.insert(idx, _Mapping(offset=offset, size=chunk.size, handle=handle))
 
     def mem_set_access(self, va: int, offset: int, size: int) -> None:
         """Grant read/write access to ``[va+offset, va+offset+size)``.
@@ -159,13 +172,19 @@ class CudaVmm:
         end = offset + size
         cursor = offset
         touched: List[_Mapping] = []
-        for m in maps:
-            if m.offset + m.size <= offset or m.offset >= end:
-                continue
+        # Binary-search the first mapping that can cover ``offset``; the
+        # table is sorted by offset and overlap-free, so the covering
+        # run (if any) is contiguous from there.
+        idx = bisect.bisect_right(maps, offset, key=lambda m: m.offset)
+        if idx and maps[idx - 1].offset + maps[idx - 1].size > offset:
+            idx -= 1
+        while idx < len(maps) and maps[idx].offset < end:
+            m = maps[idx]
             if m.offset > cursor:
                 break
             touched.append(m)
             cursor = m.offset + m.size
+            idx += 1
             if cursor >= end:
                 break
         if cursor < end:
@@ -186,18 +205,19 @@ class CudaVmm:
         if maps is None:
             raise CudaInvalidAddressError(f"{va:#x} is not a reserved address")
         end = offset + size
-        kept: List[_Mapping] = []
-        removed: List[_Mapping] = []
-        for m in maps:
-            if m.offset >= offset and m.offset + m.size <= end:
-                removed.append(m)
-            else:
-                kept.append(m)
+        # Fully-contained mappings form one contiguous run in the
+        # sorted table: everything from the first mapping at or past
+        # ``offset`` while it still ends by ``end``.
+        lo = bisect.bisect_left(maps, offset, key=lambda m: m.offset)
+        hi = lo
+        while hi < len(maps) and maps[hi].offset + maps[hi].size <= end:
+            hi += 1
+        removed = maps[lo:hi]
         if not removed:
             raise CudaInvalidValueError(
                 f"unmap range [{offset}, {end}) at {va:#x} contains no mapping"
             )
-        self._mappings[va] = kept
+        del maps[lo:hi]
         for m in removed:
             self._spend(self._latency.mem_unmap(m.size))
             self.counters.unmap_calls += 1

@@ -14,6 +14,7 @@ and SLO metrics are computed over the merged request population.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -50,7 +51,14 @@ def dispatch_requests(
         elapsed = max(0.0, request.arrival_s - last_t)
         last_t = request.arrival_s
         drained = elapsed * drain_tokens_per_s
-        backlog = [max(0.0, b - drained) for b in backlog]
+        # Decay in place (no per-arrival list rebuild).  The clamp at
+        # zero is applied per arrival on purpose: a lazily-drained heap
+        # would need max(0, b - sum(drains)), which is not float-equal
+        # to the iterated max(0, b - drain) sequence and would change
+        # dispatch decisions at the margin.
+        for i in range(n_replicas):
+            drained_backlog = backlog[i] - drained
+            backlog[i] = drained_backlog if drained_backlog > 0.0 else 0.0
         target = min(range(n_replicas), key=lambda i: (backlog[i], i))
         backlog[target] += float(request.total_tokens)
         shards[target].append(request)
@@ -62,6 +70,8 @@ class ServeClusterResult(WorstMemberRunResult):
     """Aggregated outcome of one multi-replica serving run."""
 
     replicas: List[ServingResult] = field(default_factory=list)
+    _merged: Optional[List[ServeRequest]] = field(default=None, init=False,
+                                                  repr=False, compare=False)
 
     @property
     def n_replicas(self) -> int:
@@ -69,9 +79,18 @@ class ServeClusterResult(WorstMemberRunResult):
 
     @property
     def requests(self) -> List[ServeRequest]:
-        """The merged request population, in arrival order."""
-        merged = [r for replica in self.replicas for r in replica.requests]
-        return sorted(merged, key=lambda r: (r.arrival_s, r.req_id))
+        """The merged request population, in arrival order.
+
+        Each replica's population is already sorted by (arrival,
+        req_id) — the dispatcher preserves arrival order within a
+        shard — so an n-way ``heapq.merge`` replaces a full re-sort,
+        and the merge is computed once per result.
+        """
+        if self._merged is None:
+            self._merged = list(heapq.merge(
+                *(replica.requests for replica in self.replicas),
+                key=lambda r: (r.arrival_s, r.req_id)))
+        return self._merged
 
     @property
     def makespan_s(self) -> float:

@@ -28,9 +28,11 @@ allocation latency shows up in TTFT exactly as it would in production.
 
 from __future__ import annotations
 
+import heapq
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.allocators.stats import AllocatorStats
 from repro.api.spec import AllocatorLike, resolve_allocator
@@ -54,6 +56,9 @@ from repro.workloads.models import ModelSpec, get_model
 
 #: Slack for floating-point arrival-time comparisons, seconds.
 _EPS = 1e-9
+
+#: States a request can hold only while waiting in the admission queue.
+_QUEUE_STATES = (RequestState.QUEUED, RequestState.PREEMPTED)
 
 
 @dataclass
@@ -119,18 +124,37 @@ class ServingResult:
     replica_id: int = 0
     kv_cache_name: str = "chunked"
     kv_metrics: Optional[KVCacheMetrics] = None
+    _tallies: "Optional[tuple]" = field(default=None, init=False,
+                                        repr=False, compare=False)
+
+    def _request_tallies(self) -> "tuple":
+        """(completed, rejected, preemptions), computed once.
+
+        The request population is final when the simulator builds this
+        result, and these counts back several derived metrics
+        (throughput, extras, reports) — one pass instead of one scan
+        per property access.
+        """
+        if self._tallies is None:
+            done = rejected = preempted = 0
+            for request in self.requests:
+                done += request.finished
+                rejected += request.rejected
+                preempted += request.preemptions
+            self._tallies = (done, rejected, preempted)
+        return self._tallies
 
     @property
     def completed(self) -> int:
-        return sum(1 for r in self.requests if r.finished)
+        return self._request_tallies()[0]
 
     @property
     def rejected(self) -> int:
-        return sum(1 for r in self.requests if r.rejected)
+        return self._request_tallies()[1]
 
     @property
     def preemptions(self) -> int:
-        return sum(r.preemptions for r in self.requests)
+        return self._request_tallies()[2]
 
     @property
     def utilization(self) -> float:
@@ -217,6 +241,12 @@ class ServingSimulator:
             default_chunk_tokens=self.config.kv_chunk_tokens)
         self.kv.bind(self.session, self.allocator)
         self._step_count = 0
+        # decode_workspace_bytes is a pure function of (model, batch),
+        # evaluated once per decode step — memoize per batch size.
+        self._workspace_bytes: Dict[int, int] = {}
+        #: Min-heap of (deadline, req_id, request) queue-timeout events,
+        #: owned by :meth:`run`; requeue paths push into it directly.
+        self._timeouts: List[Tuple[float, int, ServeRequest]] = []
 
     # ------------------------------------------------------------------
     # Time helpers
@@ -242,7 +272,7 @@ class ServingSimulator:
         request.reject_reason = reason
 
     def _preempt(self, request: ServeRequest, running: List[ServeRequest],
-                 queue: List[ServeRequest]) -> None:
+                 queue: "Deque[ServeRequest]") -> None:
         """Evict a running request: free its KV, requeue (or reject)."""
         self.kv.release(request, preempted=True)
         if request in running:
@@ -252,7 +282,16 @@ class ServingSimulator:
             self._reject(request, "preempted-out")
             return
         request.state = RequestState.PREEMPTED
-        queue.insert(0, request)
+        queue.appendleft(request)
+        # While the request was RUNNING its deadline entry may have
+        # been lazily dropped from the timeout heap as stale; re-push
+        # on every requeue so a preempted request can still time out.
+        # A surviving duplicate is harmless: the first expiry pop
+        # rejects, later pops see a non-queued state and skip.
+        heapq.heappush(
+            self._timeouts,
+            (request.arrival_s + self.config.queue_timeout_s,
+             request.req_id, request))
 
     # ------------------------------------------------------------------
     # Admission
@@ -278,7 +317,29 @@ class ServingSimulator:
                 self._finish(request, running)
         return True
 
-    def _run_admissions(self, queue: List[ServeRequest],
+    @staticmethod
+    def _queue_discard(queue: "Deque[ServeRequest]",
+                       request: ServeRequest) -> None:
+        """Drop ``request`` from the queue by identity.
+
+        O(1) for the head (the FCFS and memory-aware common case);
+        schedulers that pick mid-queue pay one identity scan.  Raises
+        like ``list.remove`` did if the request is not queued — a
+        scheduler returning an already-admitted request is a bug that
+        must not silently double-admit.
+        """
+        if queue and queue[0] is request:
+            queue.popleft()
+            return
+        for i, queued in enumerate(queue):
+            if queued is request:
+                del queue[i]
+                return
+        raise ValueError(
+            f"request {request.req_id} is not in the admission queue"
+        )
+
+    def _run_admissions(self, queue: "Deque[ServeRequest]",
                         running: List[ServeRequest]) -> None:
         flushed = False
         while queue and len(running) < self.config.max_batch:
@@ -302,7 +363,7 @@ class ServingSimulator:
                 self.allocator.empty_cache()
                 flushed = True
                 continue
-            queue.remove(request)
+            self._queue_discard(queue, request)
             if self._try_admit(request, running):
                 continue
             if not running:
@@ -313,21 +374,42 @@ class ServingSimulator:
             # Memory is full; hold the request at the head of the queue
             # until a retirement (or timeout) changes the picture.
             request.state = RequestState.QUEUED
-            queue.insert(0, request)
+            queue.appendleft(request)
             break
 
-    def _expire_timeouts(self, queue: List[ServeRequest]) -> None:
+    def _expire_timeouts(self, queue: "Deque[ServeRequest]") -> None:
+        """Reject queued requests that waited past the timeout SLO.
+
+        ``self._timeouts`` is a min-heap of ``(deadline, req_id,
+        request)`` pushed at arrival and again on every requeue.
+        Entries for requests that already left the queue (admitted,
+        finished, rejected) are skipped lazily.  The expiry test is the
+        same float expression the per-step queue scan used
+        (``now - arrival > timeout``), and subtraction's weak
+        monotonicity guarantees that if the earliest deadline has not
+        expired, no later one has — so popping in deadline order
+        rejects exactly the set the full scan would.
+        """
         now = self._now()
-        for request in [r for r in queue
-                        if now - r.arrival_s > self.config.queue_timeout_s]:
-            queue.remove(request)
-            self._reject(request, "timeout")
+        timeout_s = self.config.queue_timeout_s
+        timeouts = self._timeouts
+        while timeouts:
+            _, _, request = timeouts[0]
+            if request.state not in _QUEUE_STATES:
+                heapq.heappop(timeouts)  # left the queue long ago
+                continue
+            if now - request.arrival_s > timeout_s:
+                heapq.heappop(timeouts)
+                self._queue_discard(queue, request)
+                self._reject(request, "timeout")
+                continue
+            break
 
     # ------------------------------------------------------------------
     # Decode
     # ------------------------------------------------------------------
     def _grow_kv(self, request: ServeRequest, running: List[ServeRequest],
-                 queue: List[ServeRequest]) -> bool:
+                 queue: "Deque[ServeRequest]") -> bool:
         """Grow the request's KV capacity; preempt on OOM.
 
         Returns ``False`` when ``request`` itself had to be preempted
@@ -344,7 +426,7 @@ class ServingSimulator:
             # admitted loses its slot first) and retry the growth.
             self._preempt(victims[-1], running, queue)
 
-    def _decode_step(self, queue: List[ServeRequest],
+    def _decode_step(self, queue: "Deque[ServeRequest]",
                      running: List[ServeRequest]) -> None:
         batch = len(running)
         step_us = (self.config.step_overhead_us
@@ -356,8 +438,11 @@ class ServingSimulator:
         # the step runs from reserved slack rather than preempting.
         self._step_count += 1
         workspace = f"ws{self._step_count}"
-        if self.session.try_alloc(
-                workspace, decode_workspace_bytes(self.model, batch)):
+        ws_bytes = self._workspace_bytes.get(batch)
+        if ws_bytes is None:
+            ws_bytes = self._workspace_bytes[batch] = decode_workspace_bytes(
+                self.model, batch)
+        if self.session.try_alloc(workspace, ws_bytes):
             self.session.free(workspace)
         for request in list(running):
             if request.state is not RequestState.RUNNING:
@@ -379,20 +464,35 @@ class ServingSimulator:
         The loop always makes progress: every iteration either admits,
         decodes one step, rejects, or jumps the clock to the next
         arrival/timeout event — so it terminates for any finite stream.
+
+        Event plumbing is heap/deque-driven so each step is O(log n)
+        bookkeeping: arrivals come off a presorted list by index, the
+        admission queue is a deque (O(1) head pops and preemption
+        re-queues), and queue timeouts live in a ``heapq`` of deadlines
+        instead of being re-scanned against the whole queue per step —
+        the earliest pending event (next arrival or earliest deadline)
+        is the heap top, not a min() over rebuilt lists.
         """
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
         for request in pending:
             request.replica = self.replica_id
         self.session.alloc("weights", self.model.weight_bytes)
-        queue: List[ServeRequest] = []
+        queue: Deque[ServeRequest] = deque()
         running: List[ServeRequest] = []
+        timeouts = self._timeouts
+        timeouts.clear()
+        timeout_s = self.config.queue_timeout_s
         index = 0
 
         while index < len(pending) or queue or running:
             now = self._now()
             while (index < len(pending)
                    and pending[index].arrival_s <= now + _EPS):
-                queue.append(pending[index])
+                request = pending[index]
+                queue.append(request)
+                heapq.heappush(
+                    timeouts,
+                    (request.arrival_s + timeout_s, request.req_id, request))
                 index += 1
             self._expire_timeouts(queue)
             self._run_admissions(queue, running)
@@ -401,11 +501,15 @@ class ServingSimulator:
                 continue
             # Idle (or admission-blocked with an empty batch): jump to
             # whatever happens next — an arrival or a queue timeout.
+            # Stale heap entries (requests that already left the queue)
+            # are discarded first so they can never shorten the jump.
+            while timeouts and timeouts[0][2].state not in _QUEUE_STATES:
+                heapq.heappop(timeouts)
             horizons = []
             if index < len(pending):
                 horizons.append(pending[index].arrival_s)
-            horizons.extend(r.arrival_s + self.config.queue_timeout_s
-                            for r in queue)
+            if queue and timeouts:
+                horizons.append(timeouts[0][0])
             if not horizons:
                 break
             target = max(min(horizons), now)

@@ -163,6 +163,7 @@ class ReplaySession:
         self.start_s = self.clock.now_s
         self.live: Dict[str, Allocation] = {}
         self.timeline: List[TimelinePoint] = []
+        self._live_bytes = 0
 
     # ------------------------------------------------------------------
     @property
@@ -172,8 +173,14 @@ class ReplaySession:
 
     @property
     def live_bytes(self) -> int:
-        """Sum of the rounded sizes of live tensors in this session."""
-        return sum(a.rounded_size for a in self.live.values())
+        """Sum of the rounded sizes of live tensors in this session.
+
+        A running counter updated by :meth:`alloc` / :meth:`free` — a
+        serving scheduler may query this per admission decision, and
+        re-summing every live tensor each time made that quadratic over
+        a run.
+        """
+        return self._live_bytes
 
     def holds(self, tensor: str) -> bool:
         """True if ``tensor`` is currently live in this session."""
@@ -186,6 +193,7 @@ class ReplaySession:
             raise ValueError(f"tensor {tensor!r} allocated twice")
         allocation = self.allocator.malloc(size)
         self.live[tensor] = allocation
+        self._live_bytes += allocation.rounded_size
         return allocation
 
     def try_alloc(self, tensor: str, size: int) -> bool:
@@ -206,6 +214,7 @@ class ReplaySession:
         allocation = self.live.pop(tensor, None)
         if allocation is None:
             raise ValueError(f"trace frees unknown tensor {tensor!r}")
+        self._live_bytes -= allocation.rounded_size
         self.allocator.free(allocation)
 
     def advance(self, duration_us: float) -> None:

@@ -252,7 +252,11 @@ class TestPools:
         spool.add(sblock)
         assert spool.exact_inactive(8 * MB) is sblock
         a.active = True
+        spool.member_activated(a)
         assert spool.exact_inactive(8 * MB) is None
+        a.active = False
+        spool.member_deactivated(a)
+        assert spool.exact_inactive(8 * MB) is sblock
 
     def test_spool_lru_inactive(self, device):
         spool = SPool()
