@@ -43,12 +43,14 @@ Two evaluation modes exist, split by who controls time:
   and tensor lifetime before the allocator runs; exact for training
   and for the paper's memory metrics, but blind to feedback.
 * **Online serving** (:mod:`repro.serve`) — a discrete-event simulator
-  where admission *reacts* to live allocator state: arrival processes
-  (:class:`~repro.serve.arrivals.PoissonArrivals`, MMPP, replay),
-  pluggable schedulers (:data:`~repro.serve.scheduler.SCHEDULER_FACTORIES`),
-  pluggable KV-cache layouts (:mod:`repro.serve.kvcache` — ``chunked``
-  growth vs. vLLM-style ``paged`` block tables),
-  OOM preemption + requeue, and SLO metrics
+  where admission *reacts* to live allocator state.  Every policy is a
+  registered, spec-addressable component (``repro list-components``):
+  arrival processes (Poisson, MMPP, replay, closed-loop clients),
+  admission schedulers (``fcfs`` / ``shortest-prompt`` /
+  ``memory-aware``), KV-cache layouts (:mod:`repro.serve.kvcache` —
+  ``chunked`` growth vs. vLLM-style ``paged`` block tables),
+  preemption policies (``recompute`` vs. ``swap`` host offload over
+  PCIe), replica autoscalers (``queue-depth``), and SLO metrics
   (TTFT / TPOT / tail latency / goodput).  Entry points:
   :func:`repro.serve.run_serving`, :func:`repro.serve.run_serving_cluster`,
   and ``python -m repro serve``.

@@ -96,6 +96,9 @@ def defrag_comparison_rows(
             "copy (MB)": round(
                 (kv.grow_copy_bytes + kv.preempt_copy_bytes) / (1 << 20), 1)
             if kv else "-",
+            # PCIe traffic of swap-based preemption; 0 under recompute.
+            "swap (MB)": round(kv.swapped_bytes / (1 << 20), 1)
+            if kv else "-",
         })
     return rows
 

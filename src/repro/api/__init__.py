@@ -45,15 +45,25 @@ from repro.api.experiment import (
 )
 from repro.api.registry import (
     AllocatorInfo,
+    ComponentInfo,
     Param,
     SpecError,
     UnknownAllocatorError,
+    UnknownComponentError,
     allocator_names,
     allocator_registry,
     canonical_name,
+    component_kinds,
+    component_names,
+    component_registry,
     get_allocator_info,
+    get_component_info,
     iter_allocators,
+    iter_components,
+    kind_label,
     register_allocator,
+    register_component,
+    register_kind,
 )
 from repro.api.result import (
     ExperimentResult,
@@ -64,6 +74,7 @@ from repro.api.result import (
 from repro.api.spec import (
     AllocatorLike,
     AllocatorSpec,
+    ComponentSpec,
     resolve_allocator,
     spec_label,
 )
@@ -78,6 +89,8 @@ __all__ = [
     "AllocatorInfo",
     "AllocatorLike",
     "AllocatorSpec",
+    "ComponentInfo",
+    "ComponentSpec",
     "ExperimentResult",
     "ExperimentSpec",
     "MODES",
@@ -86,15 +99,24 @@ __all__ = [
     "ServingSpec",
     "SpecError",
     "UnknownAllocatorError",
+    "UnknownComponentError",
     "WorkloadSpec",
     "WorstMemberRunResult",
     "allocator_names",
     "allocator_registry",
     "canonical_name",
+    "component_kinds",
+    "component_names",
+    "component_registry",
     "expand_spec_points",
     "get_allocator_info",
+    "get_component_info",
     "iter_allocators",
+    "iter_components",
+    "kind_label",
     "register_allocator",
+    "register_component",
+    "register_kind",
     "resolve_allocator",
     "run",
     "run_result_row",

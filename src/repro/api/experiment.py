@@ -65,15 +65,27 @@ class WorkloadSpec:
 class ServingSpec:
     """An online serving scenario (used by the ``serve`` mode).
 
-    ``kv_cache`` names the KV-cache memory model in the same mini-DSL
-    as allocators: ``"chunked"``, ``"chunked?chunk_tokens=128"``, or
-    ``"paged?block_tokens=16"`` (vLLM-style block tables — cache-level
-    defragmentation, the counterpoint to the allocators' pool-level
-    defragmentation).
+    Every pluggable policy is named in the same mini-DSL as
+    allocators and validated against the component registry at
+    spec-construction time:
+
+    - ``kv_cache`` — the KV-cache memory model (``"chunked"``,
+      ``"paged?block_tokens=16"``);
+    - ``scheduler`` — the admission policy (``"fcfs"``,
+      ``"memory-aware?margin=1.5"``);
+    - ``arrivals`` — the arrival process as one spec string
+      (``"poisson?rate=4"``, ``"mmpp?rate=1&burst=6"``,
+      ``"replay?path=log.txt"``, ``"closed-loop?clients=8"``).  When
+      empty, the legacy ``arrival`` + ``rate_per_s`` /
+      ``burst_rate_per_s`` / ``mean_dwell_s`` fields are used instead;
+    - ``preemption`` — what an OOM eviction does to the victim's KV
+      (``"recompute"``, ``"swap?pcie_gb_per_s=12"``);
+    - ``autoscaler`` — the replica-count policy when ``replicas > 1``
+      (``"none"``, ``"queue-depth?high=6000&low=800"``).
     """
 
     model: str = "opt-13b"
-    arrival: str = "poisson"          # poisson | mmpp
+    arrival: str = "poisson"          # legacy: poisson | mmpp
     rate_per_s: float = 2.0
     burst_rate_per_s: float = 0.0     # mmpp only; 0 -> 4x rate
     mean_dwell_s: float = 10.0        # mmpp only
@@ -87,38 +99,92 @@ class ServingSpec:
     slo_ttft_s: float = 2.0
     slo_tpot_s: float = 0.05
     kv_cache: str = "chunked"
+    arrivals: str = ""                # full arrival spec; "" -> legacy fields
+    preemption: str = "recompute"
+    autoscaler: str = "none"
     seed: int = 0
 
     def __post_init__(self):
+        from repro.serve.arrivals import ArrivalSpec
+        from repro.serve.autoscale import AutoscalerSpec
         from repro.serve.kvcache import KVCacheSpec
+        from repro.serve.preemption import PreemptionSpec
+        from repro.serve.scheduler import SchedulerSpec
 
-        # Validate (and canonicalize) eagerly so a bad kv_cache string
-        # fails at spec-construction time, like a bad allocator spec.
-        object.__setattr__(
-            self, "kv_cache", KVCacheSpec.parse(self.kv_cache).spec_string())
+        # Validate (and canonicalize) every component spec eagerly so a
+        # bad string fails at spec-construction time, like a bad
+        # allocator spec — not mid-run.
+        for attr, spec_cls in (("kv_cache", KVCacheSpec),
+                               ("scheduler", SchedulerSpec),
+                               ("preemption", PreemptionSpec),
+                               ("autoscaler", AutoscalerSpec)):
+            object.__setattr__(
+                self, attr, spec_cls.parse(getattr(self, attr)).spec_string())
+        if self.arrivals:
+            object.__setattr__(
+                self, "arrivals",
+                ArrivalSpec.parse(self.arrivals).spec_string())
+        else:
+            # The legacy arrival fields get the same parse-time
+            # validation the spec-string path enjoys.
+            if self.arrival not in ("poisson", "mmpp"):
+                raise SpecError(
+                    f"unknown arrival process {self.arrival!r} "
+                    "(expected poisson or mmpp; use the 'arrivals' field "
+                    "for replay/closed-loop spec strings)"
+                )
+            if self.rate_per_s <= 0:
+                raise SpecError(
+                    f"rate_per_s must be positive, got {self.rate_per_s}")
+            if self.burst_rate_per_s < 0:
+                raise SpecError(
+                    f"burst_rate_per_s must be >= 0, got "
+                    f"{self.burst_rate_per_s}")
+            if self.mean_dwell_s <= 0:
+                raise SpecError(
+                    f"mean_dwell_s must be positive, got {self.mean_dwell_s}")
+        if self.n_requests < 1:
+            raise SpecError(
+                f"n_requests must be >= 1, got {self.n_requests}")
+        if self.mean_prompt < 1 or self.mean_output < 1:
+            raise SpecError("mean_prompt and mean_output must be >= 1")
+        if self.max_batch < 1:
+            raise SpecError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.queue_timeout_s <= 0:
+            raise SpecError(
+                f"queue_timeout_s must be positive, got "
+                f"{self.queue_timeout_s}")
+        if self.replicas < 1:
+            raise SpecError(f"replicas must be >= 1, got {self.replicas}")
+        if self.autoscaler != "none" and self.replicas < 2:
+            raise SpecError(
+                f"autoscaler {self.autoscaler!r} needs replicas >= 2 "
+                "(a single replica has nothing to scale)")
 
-    def build_stream(self):
+    def build_arrivals(self):
+        """The configured arrival process (spec string or legacy fields)."""
         from repro.serve.arrivals import (
-            LengthSampler,
+            ArrivalSpec,
             MMPPArrivals,
             PoissonArrivals,
         )
 
+        if self.arrivals:
+            return ArrivalSpec.parse(self.arrivals).build()
         if self.arrival == "poisson":
-            arrivals = PoissonArrivals(rate_per_s=self.rate_per_s)
-        elif self.arrival == "mmpp":
-            burst = self.burst_rate_per_s or 4.0 * self.rate_per_s
-            arrivals = MMPPArrivals(rate_calm_per_s=self.rate_per_s,
-                                    rate_burst_per_s=burst,
-                                    mean_dwell_s=self.mean_dwell_s)
-        else:
-            raise SpecError(
-                f"unknown arrival process {self.arrival!r} "
-                "(expected poisson or mmpp)"
-            )
+            return PoissonArrivals(rate_per_s=self.rate_per_s)
+        burst = self.burst_rate_per_s or 4.0 * self.rate_per_s
+        return MMPPArrivals(rate_calm_per_s=self.rate_per_s,
+                            rate_burst_per_s=burst,
+                            mean_dwell_s=self.mean_dwell_s)
+
+    def build_stream(self):
+        from repro.serve.arrivals import LengthSampler
+
         lengths = LengthSampler(mean_prompt=self.mean_prompt,
                                 mean_output=self.mean_output)
-        return arrivals.generate(self.n_requests, lengths, seed=self.seed)
+        return self.build_arrivals().generate(
+            self.n_requests, lengths, seed=self.seed)
 
     def slo(self):
         from repro.serve.metrics import SloConfig
@@ -286,14 +352,15 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
             stream, serving.model, n_replicas=serving.replicas,
             allocator=allocator, capacity=spec.capacity,
             scheduler=serving.scheduler, config=config,
-            kv_cache=serving.kv_cache,
+            kv_cache=serving.kv_cache, preemption=serving.preemption,
+            autoscaler=serving.autoscaler,
         )
         return ExperimentResult.from_serve_cluster(
             result, slo=serving.slo(), label=allocator.label)
     result = run_serving(
         stream, serving.model, allocator=allocator, capacity=spec.capacity,
         scheduler=serving.scheduler, config=config,
-        kv_cache=serving.kv_cache,
+        kv_cache=serving.kv_cache, preemption=serving.preemption,
     )
     return ExperimentResult.from_serving(
         result, slo=serving.slo(), label=allocator.label)

@@ -1,29 +1,32 @@
-"""The allocator registry — one catalogue for every pluggable allocator.
+"""The component registry — one catalogue for every pluggable piece.
 
 The paper sells GMLake as a *transparent drop-in* for the caching
-allocator; this module makes the repo's own plumbing equally drop-in.
-Every allocator registers once, with metadata (canonical name, aliases,
-paper section, tunable parameters), and every consumer — the CLI, the
-replay engine, the serving simulator, the benchmarks — resolves
-allocators through the same catalogue instead of hand-rolled dicts and
-factory closures.
+allocator; this module makes the repo's own plumbing equally drop-in,
+and not just for allocators.  Every pluggable component — allocators,
+serving KV-cache models, admission schedulers, arrival processes,
+preemption policies, autoscalers — registers once under a **kind**,
+with metadata (canonical name, aliases, paper section, tunable
+parameters), and every consumer — the CLI, the replay engine, the
+serving simulator, the benchmarks — resolves components through the
+same catalogue instead of hand-rolled dicts and factory closures.
 
-Registering a new allocator::
+Registering a new component::
 
-    @register_allocator(
-        "myalloc",
-        aliases=("ma",),
-        paper_section="§X",
-        params=(Param("chunk_size", int, 2 * MB, kind="size"),),
+    @register_component(
+        "scheduler", "priority",
+        aliases=("prio",),
+        params=(Param("levels", int, 4),),
     )
-    class MyAllocator(BaseAllocator):
-        def __init__(self, device, chunk_size=2 * MB): ...
+    class PriorityScheduler(Scheduler): ...
 
-Parameters may be declared explicitly (as above), pulled from a config
-dataclass (``config_cls=GMLakeConfig`` — construction then passes one
-config object), or introspected from the constructor signature when
-omitted.  :class:`~repro.api.spec.AllocatorSpec` consumes this metadata
-to parse and validate ``"name?key=value&..."`` spec strings.
+Allocators keep their dedicated decorator (:func:`register_allocator`,
+a thin wrapper fixing ``kind="allocator"``).  Parameters may be
+declared explicitly, pulled from a config dataclass
+(``config_cls=GMLakeConfig`` — construction then passes one config
+object), or introspected from the constructor signature when omitted.
+:class:`~repro.api.spec.ComponentSpec` (and its typed views like
+:class:`~repro.api.spec.AllocatorSpec`) consume this metadata to parse
+and validate ``"name?key=value&..."`` spec strings.
 """
 
 from __future__ import annotations
@@ -43,25 +46,28 @@ from typing import (
     Type,
 )
 
-from repro.allocators.base import BaseAllocator
 from repro.errors import ReproError
-from repro.gpu.device import GpuDevice
 from repro.units import GB, KB, MB, fmt_bytes, parse_size
 
 
 class SpecError(ReproError, ValueError):
-    """A malformed allocator/experiment spec (bad name, param or value)."""
+    """A malformed component/experiment spec (bad name, param or value)."""
 
 
-class UnknownAllocatorError(SpecError, KeyError):
-    """The spec names an allocator the registry does not know.
+class UnknownComponentError(SpecError, KeyError):
+    """The spec names a component the registry does not know.
 
     Inherits :class:`KeyError` so legacy callers of the deprecated
-    ``make_allocator`` shim keep catching the same exception type.
+    ``make_allocator`` / ``make_scheduler`` shims keep catching the
+    same exception type.
     """
 
     def __str__(self) -> str:  # KeyError.__str__ repr()s the message
         return self.args[0] if self.args else ""
+
+
+class UnknownAllocatorError(UnknownComponentError):
+    """The spec names an allocator the registry does not know."""
 
 
 #: Value kinds a parameter can declare.  ``size`` parameters accept byte
@@ -72,7 +78,7 @@ _KINDS = ("int", "float", "bool", "str", "size")
 
 @dataclass(frozen=True)
 class Param:
-    """One tunable parameter of a registered allocator.
+    """One tunable parameter of a registered component.
 
     Attributes
     ----------
@@ -89,7 +95,7 @@ class Param:
         Alternative spec keys (e.g. ``stitching`` for
         ``enable_stitch``).
     doc:
-        One-line description shown by ``repro list-allocators``.
+        One-line description shown by ``repro list-components``.
     """
 
     name: str
@@ -142,10 +148,9 @@ def find_param(
     """Resolve a spec key to ``(param, value_scale)`` among ``params``.
 
     ``owner`` names the thing being configured (e.g. ``allocator
-    'gmlake'``) for error messages.  Shared by the allocator registry
-    and the serving KV-cache registry so every ``name?key=value``
-    mini-DSL validates keys the same way.  Raises :class:`SpecError`
-    for unknown keys.
+    'gmlake'``) for error messages.  Shared by every component kind so
+    each ``name?key=value`` mini-DSL validates keys the same way.
+    Raises :class:`SpecError` for unknown keys.
     """
     for param in params:
         for candidate in param.keys:
@@ -202,11 +207,12 @@ def parse_param_value(owner: str, param: Param, raw: Any, scale: float = 1.0) ->
 
 
 @dataclass(frozen=True)
-class AllocatorInfo:
-    """Registry metadata for one allocator."""
+class ComponentInfo:
+    """Registry metadata for one component of one kind."""
 
     name: str
-    cls: Type[BaseAllocator]
+    cls: type
+    kind: str = "allocator"
     aliases: Tuple[str, ...] = ()
     params: Tuple[Param, ...] = ()
     config_cls: Optional[type] = None
@@ -216,13 +222,26 @@ class AllocatorInfo:
     #: defaults for params the user left unset (e.g. GMLake raises its
     #: fragmentation limit to a non-default chunk size).
     derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None
+    #: Optional hook: validate the explicitly-set params as a group at
+    #: spec-parse time (raise :class:`SpecError` on bad combinations —
+    #: e.g. a non-positive arrival rate) instead of failing mid-run.
+    check: Optional[Callable[[Dict[str, Any]], None]] = None
+    #: Optional construction override: ``factory(*args, **params)``
+    #: instead of ``cls(*args, **params)`` (e.g. replay arrivals load
+    #: their log file from a ``path`` param).
+    factory: Optional[Callable[..., Any]] = None
+
+    @property
+    def owner(self) -> str:
+        """How error messages name this component."""
+        return f"{kind_label(self.kind)} {self.name!r}"
 
     def find_param(self, key: str) -> Tuple[Param, float]:
         """Resolve a spec key to ``(param, value_scale)``.
 
         Raises :class:`SpecError` for unknown keys.
         """
-        return find_param(self.params, f"allocator {self.name!r}", key)
+        return find_param(self.params, self.owner, key)
 
     def resolve_params(self, explicit: Dict[str, Any]) -> Dict[str, Any]:
         """Fill derived defaults around the explicitly-set parameters."""
@@ -232,22 +251,50 @@ class AllocatorInfo:
                 resolved.setdefault(key, value)
         return resolved
 
-    def build(self, device: GpuDevice, params: Optional[Dict[str, Any]] = None) -> BaseAllocator:
-        """Instantiate the allocator on ``device`` with ``params``."""
+    def build(self, *args: Any, params: Optional[Dict[str, Any]] = None) -> Any:
+        """Instantiate the component with ``params`` (plus positional
+        ``args`` the kind requires — e.g. the device for allocators)."""
         resolved = self.resolve_params(params or {})
         try:
+            if self.factory is not None:
+                return self.factory(*args, **resolved)
             if self.config_cls is not None:
-                return self.cls(device, self.config_cls(**resolved))
-            return self.cls(device, **resolved)
+                return self.cls(*args, self.config_cls(**resolved))
+            return self.cls(*args, **resolved)
         except (TypeError, ValueError) as exc:
             raise SpecError(
-                f"cannot construct allocator {self.name!r} "
+                f"cannot construct {self.owner} "
                 f"with params {resolved!r}: {exc}"
             ) from exc
 
 
-_REGISTRY: Dict[str, AllocatorInfo] = {}
-_ALIASES: Dict[str, str] = {}
+#: Backwards-compatible name — allocator registry entries are plain
+#: :class:`ComponentInfo` records with ``kind="allocator"``.
+AllocatorInfo = ComponentInfo
+
+
+#: kind -> canonical name -> info, in registration order per kind.
+_COMPONENTS: Dict[str, Dict[str, ComponentInfo]] = {}
+#: kind -> alias -> canonical name.
+_COMPONENT_ALIASES: Dict[str, Dict[str, str]] = {}
+#: kind -> display label used in error messages and listings.
+_KIND_LABELS: Dict[str, str] = {}
+#: kind -> unknown-name error class (kind-specific subclasses keep
+#: legacy ``except`` clauses working).
+_KIND_ERRORS: Dict[str, Type[UnknownComponentError]] = {}
+
+
+def _kind_registry(kind: str) -> Dict[str, ComponentInfo]:
+    if kind not in _COMPONENTS:
+        raise SpecError(
+            f"unknown component kind {kind!r}; known: {sorted(_COMPONENTS)}"
+        )
+    return _COMPONENTS[kind]
+
+
+def kind_label(kind: str) -> str:
+    """Display label for ``kind`` (e.g. ``KV-cache model``)."""
+    return _KIND_LABELS.get(kind, kind)
 
 
 def _params_from_config(config_cls: type) -> Tuple[Param, ...]:
@@ -263,11 +310,12 @@ def _params_from_config(config_cls: type) -> Tuple[Param, ...]:
 def _params_from_init(cls: type) -> Tuple[Param, ...]:
     """Derive :class:`Param` metadata from a constructor signature.
 
-    Keyword parameters after ``device`` with a simple-typed default
-    become tunables; anything else is not spec-addressable.
+    Keyword parameters with a simple-typed default become tunables;
+    anything else (``self``, required positionals like the allocators'
+    ``device``, complex defaults) is not spec-addressable.
     """
     params = []
-    for parameter in list(inspect.signature(cls.__init__).parameters.values())[2:]:
+    for parameter in list(inspect.signature(cls.__init__).parameters.values())[1:]:
         default = parameter.default
         if default is inspect.Parameter.empty:
             continue
@@ -285,6 +333,135 @@ def _params_from_init(cls: type) -> Tuple[Param, ...]:
     return tuple(params)
 
 
+def register_kind(
+    kind: str,
+    label: Optional[str] = None,
+    error: Optional[Type[UnknownComponentError]] = None,
+) -> Dict[str, ComponentInfo]:
+    """Declare a component kind (idempotent).
+
+    ``label`` is the display name used in error messages and listings;
+    ``error`` is the unknown-name exception class (defaults to
+    :class:`UnknownComponentError`).  Returns the kind's **live**
+    catalogue dict (canonical name → :class:`ComponentInfo`) — the
+    same object later registrations fill in, so a kind's home module
+    can expose it (the allocator kind's ``_REGISTRY``, the serving
+    side's ``KV_CACHE_MODELS``).
+    """
+    registry = _COMPONENTS.setdefault(kind, {})
+    _COMPONENT_ALIASES.setdefault(kind, {})
+    if label is not None:
+        _KIND_LABELS.setdefault(kind, label)
+    if error is not None:
+        _KIND_ERRORS.setdefault(kind, error)
+    return registry
+
+
+def register_component(
+    kind: str,
+    name: str,
+    *,
+    aliases: Sequence[str] = (),
+    params: Optional[Sequence[Param]] = None,
+    config_cls: Optional[type] = None,
+    paper_section: str = "",
+    description: str = "",
+    derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+    check: Optional[Callable[[Dict[str, Any]], None]] = None,
+    factory: Optional[Callable[..., Any]] = None,
+) -> Callable[[type], type]:
+    """Class decorator registering a component under ``(kind, name)``.
+
+    ``aliases`` are alternative names resolving to the same entry (the
+    registry keeps one canonical entry; listings print aliases as
+    metadata, not as extra components).  ``params`` declares the
+    tunables explicitly; when omitted they are derived from
+    ``config_cls``'s dataclass fields (construction then passes a
+    single config object) or, failing that, introspected from the
+    constructor signature.  ``check`` validates explicitly-set params
+    at spec-parse time; ``factory`` overrides construction.
+    """
+    register_kind(kind)
+    registry = _COMPONENTS[kind]
+    alias_map = _COMPONENT_ALIASES[kind]
+
+    def decorate(cls: type) -> type:
+        if name in registry or name in alias_map:
+            raise ValueError(f"{kind_label(kind)} {name!r} registered twice")
+        if params is not None:
+            tunables = tuple(params)
+        elif config_cls is not None:
+            tunables = _params_from_config(config_cls)
+        else:
+            tunables = _params_from_init(cls)
+        doc = description or (cls.__doc__ or "").strip().splitlines()[0]
+        info = ComponentInfo(
+            name=name, cls=cls, kind=kind, aliases=tuple(aliases),
+            params=tunables, config_cls=config_cls,
+            paper_section=paper_section, description=doc,
+            derive=derive, check=check, factory=factory,
+        )
+        registry[name] = info
+        for alias in info.aliases:
+            if alias in registry or alias in alias_map:
+                raise ValueError(
+                    f"{kind_label(kind)} alias {alias!r} registered twice")
+            alias_map[alias] = name
+        return cls
+
+    return decorate
+
+
+def component_canonical_name(kind: str, name: str) -> str:
+    """Map a name or alias to the canonical registry name of ``kind``."""
+    registry = _kind_registry(kind)
+    key = name.strip().lower()
+    key = _COMPONENT_ALIASES[kind].get(key, key)
+    if key not in registry:
+        known = ", ".join(sorted(set(registry) | set(_COMPONENT_ALIASES[kind])))
+        error = _KIND_ERRORS.get(kind, UnknownComponentError)
+        raise error(f"unknown {kind_label(kind)} {name!r}; known: {known}")
+    return key
+
+
+def get_component_info(kind: str, name: str) -> ComponentInfo:
+    """Look up registry metadata by canonical name or alias."""
+    return _COMPONENTS[kind][component_canonical_name(kind, name)]
+
+
+def component_kinds() -> List[str]:
+    """Registered component kinds, in registration order."""
+    return list(_COMPONENTS)
+
+
+def component_registry(kind: str) -> Dict[str, ComponentInfo]:
+    """The canonical-name → :class:`ComponentInfo` catalogue (a copy)."""
+    return dict(_kind_registry(kind))
+
+
+def component_names(kind: str, include_aliases: bool = False) -> List[str]:
+    """Registered component names of ``kind``, optionally with aliases."""
+    names = list(_kind_registry(kind))
+    if include_aliases:
+        names += list(_COMPONENT_ALIASES[kind])
+    return sorted(names)
+
+
+def iter_components(kind: str) -> Iterable[ComponentInfo]:
+    """Iterate ``kind``'s registry entries in registration order."""
+    return iter(_kind_registry(kind).values())
+
+
+# ----------------------------------------------------------------------
+# The allocator kind (the original registry, now a thin view)
+# ----------------------------------------------------------------------
+#: The allocator catalogue — shared storage with the kind-aware
+#: registry (``_COMPONENTS["allocator"]`` is this very dict).
+_REGISTRY: Dict[str, ComponentInfo] = register_kind(
+    "allocator", label="allocator", error=UnknownAllocatorError)
+_ALIASES: Dict[str, str] = _COMPONENT_ALIASES["allocator"]
+
+
 def register_allocator(
     name: str,
     *,
@@ -294,80 +471,47 @@ def register_allocator(
     paper_section: str = "",
     description: str = "",
     derive: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
-) -> Callable[[Type[BaseAllocator]], Type[BaseAllocator]]:
+) -> Callable[[type], type]:
     """Class decorator registering an allocator under ``name``.
 
-    ``aliases`` are alternative names resolving to the same entry (the
-    registry keeps one canonical entry; listings print aliases as
-    metadata, not as extra allocators).  ``params`` declares the
-    tunables explicitly; when omitted they are derived from
-    ``config_cls``'s dataclass fields (construction then passes a
-    single config object) or, failing that, introspected from the
-    constructor signature.
+    A thin wrapper over :func:`register_component` with
+    ``kind="allocator"`` — kept because allocators predate the
+    kind-aware registry and register from several modules.
     """
-
-    def decorate(cls: Type[BaseAllocator]) -> Type[BaseAllocator]:
-        if name in _REGISTRY or name in _ALIASES:
-            raise ValueError(f"allocator {name!r} registered twice")
-        if params is not None:
-            tunables = tuple(params)
-        elif config_cls is not None:
-            tunables = _params_from_config(config_cls)
-        else:
-            tunables = _params_from_init(cls)
-        doc = description or (cls.__doc__ or "").strip().splitlines()[0]
-        info = AllocatorInfo(
-            name=name, cls=cls, aliases=tuple(aliases), params=tunables,
-            config_cls=config_cls, paper_section=paper_section,
-            description=doc, derive=derive,
-        )
-        _REGISTRY[name] = info
-        for alias in info.aliases:
-            if alias in _REGISTRY or alias in _ALIASES:
-                raise ValueError(f"allocator alias {alias!r} registered twice")
-            _ALIASES[alias] = name
-        return cls
-
-    return decorate
+    return register_component(
+        "allocator", name, aliases=aliases, params=params,
+        config_cls=config_cls, paper_section=paper_section,
+        description=description, derive=derive,
+    )
 
 
 def canonical_name(name: str) -> str:
-    """Map a name or alias to the canonical registry name."""
-    key = name.strip().lower()
-    key = _ALIASES.get(key, key)
-    if key not in _REGISTRY:
-        known = ", ".join(sorted(set(_REGISTRY) | set(_ALIASES)))
-        raise UnknownAllocatorError(
-            f"unknown allocator {name!r}; known: {known}"
-        )
-    return key
+    """Map an allocator name or alias to the canonical registry name."""
+    return component_canonical_name("allocator", name)
 
 
-def get_allocator_info(name: str) -> AllocatorInfo:
-    """Look up registry metadata by canonical name or alias."""
-    return _REGISTRY[canonical_name(name)]
+def get_allocator_info(name: str) -> ComponentInfo:
+    """Look up allocator registry metadata by canonical name or alias."""
+    return get_component_info("allocator", name)
 
 
-def allocator_registry() -> Dict[str, AllocatorInfo]:
+def allocator_registry() -> Dict[str, ComponentInfo]:
     """The canonical-name → :class:`AllocatorInfo` catalogue (a copy)."""
-    return dict(_REGISTRY)
+    return component_registry("allocator")
 
 
 def allocator_names(include_aliases: bool = False) -> List[str]:
     """Registered allocator names, optionally with aliases."""
-    names = list(_REGISTRY)
-    if include_aliases:
-        names += list(_ALIASES)
-    return sorted(names)
+    return component_names("allocator", include_aliases)
 
 
-def iter_allocators() -> Iterable[AllocatorInfo]:
-    """Iterate registry entries in registration order."""
-    return iter(_REGISTRY.values())
+def iter_allocators() -> Iterable[ComponentInfo]:
+    """Iterate allocator registry entries in registration order."""
+    return iter_components("allocator")
 
 
 # ----------------------------------------------------------------------
-# Built-in registrations
+# Built-in allocator registrations
 # ----------------------------------------------------------------------
 def _register_builtins() -> None:
     from repro.allocators.caching import CachingAllocator

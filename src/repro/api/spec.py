@@ -1,29 +1,37 @@
-"""``AllocatorSpec`` — one way to name a *configured* allocator.
+"""``ComponentSpec`` — one way to name a *configured* component.
 
-A spec is a canonical allocator name plus validated parameter values,
+A spec is a canonical component name plus validated parameter values,
 parseable from a URL-query-style mini-DSL::
 
     caching
     gmlake?chunk_mb=512&stitching=off
     gmlake?chunk_size=512MB&enable_stitch=false     # same thing
-    vmm-naive?chunk_size=64MB
-    native?op_amplification=1
+    memory-aware?margin=1.5                         # a scheduler
+    closed-loop?clients=8&think_s=2.0               # an arrival process
 
 CLI flags, benchmark sweeps, JSON experiment files and the serving
-simulator all speak this one language, so a configured GMLake needs no
-Python-side factory code anywhere.  Specs round-trip losslessly through
-``to_dict``/``from_dict`` (JSON-safe) and :meth:`spec_string`.
+simulator all speak this one language, so a configured component needs
+no Python-side factory code anywhere.  Specs round-trip losslessly
+through ``to_dict``/``from_dict`` (JSON-safe) and :meth:`spec_string`.
+
+:class:`ComponentSpec` is the generic parser; each component kind
+exposes a typed view fixing the ``kind`` (``AllocatorSpec`` here,
+``KVCacheSpec`` / ``SchedulerSpec`` / ``ArrivalSpec`` /
+``PreemptionSpec`` / ``AutoscalerSpec`` next to their registries in
+:mod:`repro.serve`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, ClassVar, Dict, Optional, Tuple, Union
 
 from repro.allocators.base import BaseAllocator
 from repro.api.registry import (
+    ComponentInfo,
     SpecError,
-    get_allocator_info,
+    get_component_info,
+    kind_label,
     parse_param_value,
 )
 from repro.gpu.device import GpuDevice
@@ -34,9 +42,8 @@ def parse_query(text: str) -> Tuple[str, Dict[str, Any]]:
     """Split a ``"name?key=value&key=value"`` mini-DSL string.
 
     Returns ``(name, raw_params)`` without validating either — the
-    caller's registry does that.  Shared by :class:`AllocatorSpec` and
-    the serving-side :class:`repro.serve.kvcache.KVCacheSpec` so every
-    spec string in the toolkit has one grammar.
+    caller's registry does that.  Shared by every :class:`ComponentSpec`
+    view so every spec string in the toolkit has one grammar.
     """
     text = text.strip()
     if not text:
@@ -60,19 +67,27 @@ def parse_query(text: str) -> Tuple[str, Dict[str, Any]]:
 
 
 @dataclass(frozen=True)
-class AllocatorSpec:
-    """A validated, immutable (allocator, parameters) pair.
+class ComponentSpec:
+    """A validated, immutable (component, parameters) pair of one kind.
 
     ``params`` holds only *explicitly set* parameters, keyed by their
-    canonical names — defaults are left to the allocator so a spec
-    stays minimal and stable under serialization.
+    canonical names — defaults are left to the component so a spec
+    stays minimal and stable under serialization.  Subclasses pin
+    ``kind`` to a registry kind; parsing validates the name against
+    that kind's registry and every value against its declared
+    :class:`~repro.api.registry.Param` metadata, then runs the
+    component's ``check`` hook (group validation — e.g. a non-positive
+    rate) so bad specs fail at parse time, not mid-run.
     """
 
     name: str
     params: Dict[str, Any] = field(default_factory=dict)
 
+    #: The registry kind this spec class addresses.
+    kind: ClassVar[str] = "allocator"
+
     def __post_init__(self):
-        info = get_allocator_info(self.name)  # raises on unknown name
+        info = get_component_info(self.kind, self.name)  # raises on unknown
         object.__setattr__(self, "name", info.name)
         validated = {}
         for key, raw in self.params.items():
@@ -82,28 +97,32 @@ class AllocatorSpec:
                     f"parameter {param.name!r} set twice in {self.name} spec "
                     f"(key {key!r} is an alias)"
                 )
-            validated[param.name] = parse_param_value(info.name, param, raw, scale)
+            validated[param.name] = parse_param_value(
+                info.owner, param, raw, scale)
+        if info.check is not None:
+            info.check(validated)
         object.__setattr__(self, "params", validated)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def parse(cls, text: Union[str, "AllocatorSpec"]) -> "AllocatorSpec":
+    def parse(cls, text):
         """Parse ``"name"`` or ``"name?key=value&key=value"``."""
-        if isinstance(text, AllocatorSpec):
+        if isinstance(text, cls):
             return text
         name, params = parse_query(text)
         return cls(name, params)
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "AllocatorSpec":
+    def from_dict(cls, data: Dict[str, Any]) -> "ComponentSpec":
         """Inverse of :meth:`to_dict`."""
+        label = kind_label(cls.kind)
         if "name" not in data:
-            raise SpecError(f"allocator spec dict needs a 'name': {data!r}")
+            raise SpecError(f"{label} spec dict needs a 'name': {data!r}")
         unknown = set(data) - {"name", "params"}
         if unknown:
-            raise SpecError(f"unknown allocator spec keys {sorted(unknown)}")
+            raise SpecError(f"unknown {label} spec keys {sorted(unknown)}")
         return cls(str(data["name"]), dict(data.get("params") or {}))
 
     # ------------------------------------------------------------------
@@ -142,9 +161,9 @@ class AllocatorSpec:
     # Use
     # ------------------------------------------------------------------
     @property
-    def info(self) -> AllocatorInfo:
+    def info(self) -> ComponentInfo:
         """The registry entry this spec builds."""
-        return get_allocator_info(self.name)
+        return get_component_info(self.kind, self.name)
 
     def resolved_params(self) -> Dict[str, Any]:
         """Full parameter dict: defaults overlaid with this spec's values."""
@@ -153,12 +172,32 @@ class AllocatorSpec:
         resolved.update(info.resolve_params(self.params))
         return resolved
 
-    def build(self, device: GpuDevice) -> BaseAllocator:
-        """Instantiate the configured allocator on ``device``."""
-        return self.info.build(device, self.params)
+    def build(self, *args: Any) -> Any:
+        """Instantiate the configured component (positional ``args``
+        are whatever the kind's constructors require up front)."""
+        return self.info.build(*args, params=self.params)
 
     def __str__(self) -> str:
         return self.spec_string()
+
+
+@dataclass(frozen=True)
+class AllocatorSpec(ComponentSpec):
+    """A validated, immutable (allocator, parameters) pair.
+
+    The typed allocator view of :class:`ComponentSpec`::
+
+        caching
+        gmlake?chunk_mb=512&stitching=off
+        vmm-naive?chunk_size=64MB
+        native?op_amplification=1
+    """
+
+    kind: ClassVar[str] = "allocator"
+
+    def build(self, device: GpuDevice) -> BaseAllocator:
+        """Instantiate the configured allocator on ``device``."""
+        return self.info.build(device, params=self.params)
 
 
 #: Anything the toolkit accepts where an allocator is named: a spec

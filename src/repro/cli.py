@@ -12,9 +12,14 @@ serve            Online serving simulation with live admission control.
 microbench       Print the Figure 6 / Table 1 VMM latency tables.
 models           List the model registry.
 list-allocators  List the allocator registry with tunable parameters.
+list-components  List every registered component kind (allocators,
+                 KV caches, schedulers, arrivals, preemption policies,
+                 autoscalers) with tunable parameters.
 
-Anywhere an allocator is named, the full :class:`repro.api.AllocatorSpec`
-mini-DSL works — ``gmlake?chunk_mb=512&stitching=off`` configures GMLake
+Anywhere a component is named, the full :class:`repro.api.ComponentSpec`
+mini-DSL works — ``gmlake?chunk_mb=512&stitching=off`` configures GMLake,
+``memory-aware?margin=1.5`` a scheduler, ``closed-loop?clients=8`` an
+arrival process, ``swap?pcie_gb_per_s=12`` a preemption policy —
 without any Python-side factory code.
 
 Examples
@@ -30,6 +35,9 @@ python -m repro serve --model opt-13b --arrival poisson --rate 2.0 \\
     --allocator gmlake
 python -m repro serve --model opt-1.3b --allocator caching --capacity 4GB \\
     --kv-cache "paged?block_tokens=16"
+python -m repro serve --model opt-1.3b --allocator gmlake --capacity 6GB \\
+    --arrivals "closed-loop?clients=8&think_s=0.5" --preemption swap
+python -m repro list-components --kind preemption
 """
 
 from __future__ import annotations
@@ -50,8 +58,11 @@ from repro.api import (
     ExperimentSpec,
     SpecError,
     allocator_names,
+    component_kinds,
     expand_spec_points,
     iter_allocators,
+    iter_components,
+    kind_label,
     run_result_row,
     run_sweep,
     sweep_rows,
@@ -61,18 +72,22 @@ from repro.errors import AllocatorError
 from repro.gpu.device import GpuDevice
 from repro.serve import (
     KV_CACHE_MODELS,
-    SCHEDULER_FACTORIES,
+    ArrivalSpec,
+    AutoscalerSpec,
     KVCacheSpec,
     LengthSampler,
     MMPPArrivals,
     PoissonArrivals,
+    PreemptionSpec,
     ReplayArrivals,
+    SchedulerSpec,
     ServingConfig,
     SloConfig,
     kv_cache_names,
     load_arrival_log,
     run_serving,
     run_serving_cluster,
+    scheduler_names,
 )
 from repro.sim.engine import run_trace, run_workload
 from repro.units import GB, MB, parse_size
@@ -268,18 +283,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.spec:
         return _run_spec_file(args.spec)
-    if args.arrival == "poisson":
+    if args.arrivals:
+        # One spec string names the whole arrival process — the
+        # registry-validated path (replay/closed-loop live here too).
+        arrival_spec = ArrivalSpec.parse(args.arrivals)
+        arrivals = arrival_spec.build()
+        shape = arrival_spec.label
+    elif args.arrival == "poisson":
         arrivals = PoissonArrivals(rate_per_s=args.rate)
+        shape = f"poisson rate={args.rate:g}/s"
     elif args.arrival == "mmpp":
         burst = args.burst_rate if args.burst_rate else 4.0 * args.rate
         arrivals = MMPPArrivals(rate_calm_per_s=args.rate,
                                 rate_burst_per_s=burst,
                                 mean_dwell_s=args.dwell)
+        shape = f"mmpp rate={args.rate:g}/s"
     elif args.arrival == "replay":
         if not args.arrival_log:
             print("--arrival replay requires --arrival-log", file=sys.stderr)
             return 2
         arrivals = ReplayArrivals(load_arrival_log(args.arrival_log))
+        shape = "replay"
     else:  # argparse choices make this unreachable
         print(f"unknown arrival process {args.arrival!r}", file=sys.stderr)
         return 2
@@ -287,7 +311,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.gpus < 1:
         raise ValueError(f"--gpus must be >= 1, got {args.gpus}")
     n_requests = args.requests
-    if args.arrival == "replay":
+    if isinstance(arrivals, ReplayArrivals):
         n_requests = min(n_requests, len(arrivals.times))
     lengths = LengthSampler(mean_prompt=args.mean_prompt,
                             mean_output=args.mean_output)
@@ -295,7 +319,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            queue_timeout_s=args.timeout)
     slo = SloConfig(ttft_s=args.slo_ttft, tpot_s=args.slo_tpot)
 
+    # Parse every component spec up front: a typo fails before any
+    # simulation runs, with the registry's known-names message.
     kv_spec = KVCacheSpec.parse(args.kv_cache)
+    scheduler_spec = SchedulerSpec.parse(args.scheduler)
+    preemption_spec = PreemptionSpec.parse(args.preemption)
+    autoscaler_spec = AutoscalerSpec.parse(args.autoscaler)
+    if autoscaler_spec.name != "none" and args.gpus < 2:
+        print("serve: --autoscaler needs --gpus >= 2 "
+              "(a single replica has nothing to scale)", file=sys.stderr)
+        return 2
     reports = {}
     for spec in _parse_spec_list(args.allocator):
         # Regenerate per allocator: the simulator mutates the requests.
@@ -303,19 +336,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.gpus > 1:
             result = run_serving_cluster(
                 stream, args.model, n_replicas=args.gpus, allocator=spec,
-                capacity=args.capacity, scheduler=args.scheduler,
-                config=config, kv_cache=kv_spec)
+                capacity=args.capacity, scheduler=scheduler_spec,
+                config=config, kv_cache=kv_spec,
+                preemption=preemption_spec, autoscaler=autoscaler_spec)
         else:
             result = run_serving(
                 stream, args.model, allocator=spec, capacity=args.capacity,
-                scheduler=args.scheduler, config=config, kv_cache=kv_spec)
+                scheduler=scheduler_spec, config=config, kv_cache=kv_spec,
+                preemption=preemption_spec)
         reports[spec.label] = result.report(slo)
 
-    shape = (args.arrival if args.arrival == "replay"
-             else f"{args.arrival} rate={args.rate:g}/s")
     title = (f"serve {args.model}: {n_requests} req, {shape}, "
-             f"{args.gpus} GPU(s), scheduler={args.scheduler}, "
-             f"kv={kv_spec.label}")
+             f"{args.gpus} GPU(s), scheduler={scheduler_spec.label}, "
+             f"kv={kv_spec.label}, preemption={preemption_spec.label}")
+    if args.gpus > 1 and autoscaler_spec.name != "none":
+        title += f", autoscaler={autoscaler_spec.label}"
     print(format_serving_summary(reports, title=title, slo=slo))
     return 0
 
@@ -369,6 +404,53 @@ def cmd_list_allocators(args: argparse.Namespace) -> int:
         kv_rows,
         title="serving KV-cache models (serve --kv-cache \"name?key=value\")",
     ))
+    return 0
+
+
+def cmd_list_components(args: argparse.Namespace) -> int:
+    """One catalogue for every registered component kind."""
+    # Importing repro.serve (above) registered the serving-side kinds;
+    # the allocator kind registers with repro.api.
+    kinds = component_kinds()
+    if args.kind:
+        if args.kind not in kinds:
+            print(f"unknown component kind {args.kind!r}; "
+                  f"known: {', '.join(sorted(kinds))}", file=sys.stderr)
+            return 2
+        kinds = [args.kind]
+    for kind in kinds:
+        rows = [
+            {
+                "name": info.name,
+                "aliases": ",".join(info.aliases) or "-",
+                "class": info.cls.__name__,
+                "paper": info.paper_section or "-",
+                "description": info.description,
+            }
+            for info in iter_components(kind)
+        ]
+        rows.sort(key=lambda r: r["name"])
+        print(format_table(
+            rows, title=f"component kind {kind!r} — {kind_label(kind)} registry"))
+        params = [
+            {
+                "name": info.name,
+                "parameter": param.name,
+                "type": param.type_name,
+                "default": param.default_str(),
+                "spec keys": ",".join(
+                    k for k in param.keys if k != param.name) or "-",
+                "description": param.doc or "-",
+            }
+            for info in sorted(iter_components(kind), key=lambda i: i.name)
+            for param in info.params
+        ]
+        if params:
+            print(format_table(
+                params,
+                title=f'{kind} parameters '
+                      f'(spec syntax: "name?key=value&key=value")'))
+        print()
     return 0
 
 
@@ -480,11 +562,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma list of allocator specs "
                         f"(names: {allocator_names()})")
     p.add_argument("--scheduler", default="memory-aware",
-                   choices=sorted(SCHEDULER_FACTORIES))
+                   help="admission scheduler spec, e.g. 'fcfs', "
+                        "'memory-aware?margin=1.5' "
+                        f"(names: {scheduler_names()})")
+    p.add_argument("--arrivals", default="",
+                   help="arrival process spec overriding --arrival/--rate, "
+                        "e.g. 'poisson?rate=4', 'closed-loop?clients=8', "
+                        "'replay?path=log.txt'")
     p.add_argument("--kv-cache", default="chunked",
                    help="KV-cache memory model spec, e.g. 'chunked', "
                         "'paged?block_tokens=16' "
                         f"(names: {kv_cache_names()})")
+    p.add_argument("--preemption", default="recompute",
+                   help="preemption policy spec: 'recompute' (free + "
+                        "re-prefill) or 'swap' (host offload over PCIe, "
+                        "e.g. 'swap?pcie_gb_per_s=12')")
+    p.add_argument("--autoscaler", default="none",
+                   help="replica autoscaler spec (multi-GPU only): 'none' "
+                        "or 'queue-depth?high=4000&low=500'")
     p.add_argument("--gpus", type=int, default=1,
                    help="number of serving replicas")
     p.add_argument("--capacity", type=parse_size, default=80 * GB,
@@ -514,6 +609,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("list-allocators",
                        help="list the allocator registry")
     p.set_defaults(func=cmd_list_allocators)
+
+    p = sub.add_parser("list-components",
+                       help="list every registered component kind "
+                            "(allocators, KV caches, schedulers, arrivals, "
+                            "preemption, autoscalers)")
+    p.add_argument("--kind", default="",
+                   help="only this kind (e.g. scheduler, preemption)")
+    p.set_defaults(func=cmd_list_components)
     return parser
 
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.units import GB, MB
 
@@ -93,6 +93,12 @@ class LatencyModel:
     cached_op_us:
         Cost of a pool-level (de)allocation that hits the cache and
         touches no driver API -- a handful of host-side bookkeeping ops.
+    pcie_gb_per_s / pcie_latency_us:
+        Effective host<->device copy bandwidth and per-transfer setup
+        cost over PCIe (defaults model a PCIe 4.0 x16 A100: ~32 GB/s
+        theoretical, ~24 GB/s achieved by cudaMemcpy).  Charged by
+        swap-based preemption when it offloads a KV cache to host
+        memory and restores it on re-admission.
     sync_stall_us:
         Pipeline stall caused by the implicit device synchronization of
         ``cudaMalloc``/``cudaFree`` on a *busy* device: the async kernel
@@ -108,6 +114,8 @@ class LatencyModel:
     cuda_free_per_gb_us: float = 30.0
     cached_op_us: float = 1.5
     sync_stall_us: float = 250.0
+    pcie_gb_per_s: float = 24.0
+    pcie_latency_us: float = 25.0
     _create_points: Dict[float, float] = field(init=False, repr=False)
     _map_points: Dict[float, float] = field(init=False, repr=False)
     _access_points: Dict[float, float] = field(init=False, repr=False)
@@ -141,6 +149,19 @@ class LatencyModel:
     def cuda_free(self, size: int) -> float:
         """Latency of ``cudaFree`` of a ``size``-byte allocation."""
         return self.cuda_free_fixed_us + self.cuda_free_per_gb_us * size / GB
+
+    def pcie_transfer(self, size: int,
+                      gb_per_s: Optional[float] = None) -> float:
+        """Latency of one host<->device copy of ``size`` bytes.
+
+        ``gb_per_s`` overrides the modelled bandwidth (a swap policy
+        configured for a different link); the per-transfer setup cost
+        is always :attr:`pcie_latency_us`.
+        """
+        bandwidth = gb_per_s if gb_per_s else self.pcie_gb_per_s
+        if bandwidth <= 0:
+            raise ValueError(f"PCIe bandwidth must be positive, got {bandwidth}")
+        return self.pcie_latency_us + size / (bandwidth * GB) * 1e6
 
     # ------------------------------------------------------------------
     # VMM driver API (GMLake path), per call

@@ -11,19 +11,31 @@ preempts and requeues on OOM instead of failing the trace, and reports
 serving SLO metrics (TTFT, TPOT, tail latency, goodput) next to the
 allocator metrics.
 
+Every pluggable policy here is a **registered component** addressable
+by the same ``"name?key=value"`` mini-DSL as allocators (see
+``repro list-components``): KV-cache models (``kv-cache``), admission
+schedulers (``scheduler``), arrival processes (``arrivals``),
+preemption policies (``preemption``) and autoscalers (``autoscaler``).
+
 Layout
 ------
-- :mod:`repro.serve.request`   — the request lifecycle model.
-- :mod:`repro.serve.arrivals`  — Poisson / MMPP / replayed arrival
-  processes with heavy-tailed prompt/output lengths.
-- :mod:`repro.serve.kvcache`   — KV-cache memory models (``chunked``
+- :mod:`repro.serve.request`    — the request lifecycle model.
+- :mod:`repro.serve.arrivals`   — Poisson / MMPP / replayed /
+  closed-loop arrival processes with heavy-tailed prompt/output
+  lengths.
+- :mod:`repro.serve.kvcache`    — KV-cache memory models (``chunked``
   vs. ``paged``): pool-level vs. cache-level defragmentation.
-- :mod:`repro.serve.scheduler` — FCFS / shortest-prompt / memory-aware
+- :mod:`repro.serve.scheduler`  — FCFS / shortest-prompt / memory-aware
   admission policies (the last queries ``allocator.stats()`` through
   the KV model's headroom — free-block counts under paged KV).
-- :mod:`repro.serve.simulator` — the single-replica event loop.
-- :mod:`repro.serve.metrics`   — SLO metrics and the serving report.
-- :mod:`repro.serve.cluster`   — the multi-replica front-end.
+- :mod:`repro.serve.preemption` — what an OOM eviction does to the
+  victim's KV: ``recompute`` (free + re-prefill) or ``swap`` (host
+  offload over PCIe).
+- :mod:`repro.serve.autoscale`  — replica-count policies for the
+  multi-replica front-end (``none`` / ``queue-depth``).
+- :mod:`repro.serve.simulator`  — the single-replica event loop.
+- :mod:`repro.serve.metrics`    — SLO metrics and the serving report.
+- :mod:`repro.serve.cluster`    — the multi-replica front-end.
 
 Quick start
 -----------
@@ -35,12 +47,26 @@ Quick start
 """
 
 from repro.serve.arrivals import (
+    ArrivalLike,
     ArrivalProcess,
+    ArrivalSpec,
+    ClosedLoopArrivals,
     LengthSampler,
     MMPPArrivals,
     PoissonArrivals,
     ReplayArrivals,
+    arrival_names,
     load_arrival_log,
+    resolve_arrivals,
+)
+from repro.serve.autoscale import (
+    Autoscaler,
+    AutoscalerLike,
+    AutoscalerSpec,
+    NoAutoscaler,
+    QueueDepthAutoscaler,
+    autoscaler_names,
+    resolve_autoscaler,
 )
 from repro.serve.cluster import (
     ServeClusterResult,
@@ -58,15 +84,28 @@ from repro.serve.kvcache import (
     resolve_kv_cache,
 )
 from repro.serve.metrics import ServingReport, SloConfig, percentile
+from repro.serve.preemption import (
+    PreemptionLike,
+    PreemptionPolicy,
+    PreemptionSpec,
+    RecomputePreemption,
+    SwapPreemption,
+    preemption_names,
+    resolve_preemption,
+)
 from repro.serve.request import RequestState, ServeRequest
 from repro.serve.scheduler import (
     SCHEDULER_FACTORIES,
     FcfsScheduler,
     MemoryAwareScheduler,
     Scheduler,
+    SchedulerLike,
+    SchedulerSpec,
     SchedulerView,
     ShortestPromptScheduler,
     make_scheduler,
+    resolve_scheduler,
+    scheduler_names,
 )
 from repro.serve.simulator import (
     ServingConfig,
@@ -76,12 +115,24 @@ from repro.serve.simulator import (
 )
 
 __all__ = [
+    "ArrivalLike",
     "ArrivalProcess",
+    "ArrivalSpec",
+    "ClosedLoopArrivals",
     "LengthSampler",
     "PoissonArrivals",
     "MMPPArrivals",
     "ReplayArrivals",
+    "arrival_names",
     "load_arrival_log",
+    "resolve_arrivals",
+    "Autoscaler",
+    "AutoscalerLike",
+    "AutoscalerSpec",
+    "NoAutoscaler",
+    "QueueDepthAutoscaler",
+    "autoscaler_names",
+    "resolve_autoscaler",
     "RequestState",
     "ServeRequest",
     "KVCacheModel",
@@ -92,13 +143,24 @@ __all__ = [
     "KV_CACHE_MODELS",
     "kv_cache_names",
     "resolve_kv_cache",
+    "PreemptionLike",
+    "PreemptionPolicy",
+    "PreemptionSpec",
+    "RecomputePreemption",
+    "SwapPreemption",
+    "preemption_names",
+    "resolve_preemption",
     "Scheduler",
+    "SchedulerLike",
+    "SchedulerSpec",
     "SchedulerView",
     "FcfsScheduler",
     "ShortestPromptScheduler",
     "MemoryAwareScheduler",
     "SCHEDULER_FACTORIES",
     "make_scheduler",
+    "resolve_scheduler",
+    "scheduler_names",
     "ServingConfig",
     "ServingSimulator",
     "ServingResult",

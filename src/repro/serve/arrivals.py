@@ -1,13 +1,19 @@
 """Request arrival processes for the online serving simulator.
 
-Three processes cover the traffic shapes serving papers evaluate:
+Four processes cover the traffic shapes serving papers evaluate, all
+registered under the ``arrivals`` component kind and nameable by the
+same ``"name?key=value"`` mini-DSL as allocators:
 
-* :class:`PoissonArrivals` — memoryless open-loop traffic at a fixed
-  mean rate, the standard load-sweep axis.
-* :class:`MMPPArrivals` — a two-state Markov-modulated Poisson process
-  (calm/burst), the classic model for bursty production traffic.
-* :class:`ReplayArrivals` — timestamps replayed from a recorded log,
-  for trace-driven evaluation.
+* :class:`PoissonArrivals` (``"poisson?rate=2.0"``) — memoryless
+  open-loop traffic at a fixed mean rate, the standard load-sweep axis.
+* :class:`MMPPArrivals` (``"mmpp?rate=1&burst=4&dwell=10"``) — a
+  two-state Markov-modulated Poisson process (calm/burst), the classic
+  model for bursty production traffic.
+* :class:`ReplayArrivals` (``"replay?path=log.txt"``) — timestamps
+  replayed from a recorded log, for trace-driven evaluation.
+* :class:`ClosedLoopArrivals` (``"closed-loop?clients=8&think_s=2"``)
+  — a fixed population of clients, each issuing its next request after
+  a think time, the classic closed-system load model.
 
 Every process emits :class:`~repro.serve.request.ServeRequest` objects
 with prompt/output lengths drawn from the same heavy-tailed log-normal
@@ -23,10 +29,20 @@ import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import Any, ClassVar, Dict, List, Sequence, Union
 
+from repro.api.registry import (
+    Param,
+    SpecError,
+    component_names,
+    register_component,
+    register_kind,
+)
+from repro.api.spec import ComponentSpec
 from repro.serve.request import ServeRequest
 from repro.units import align_up
+
+register_kind("arrivals", label="arrival process")
 
 
 def _heavy_tail_tokens(rng: random.Random, mean: int, sigma: float,
@@ -89,6 +105,29 @@ class ArrivalProcess(ABC):
         return requests
 
 
+def _check_positive(*names: str):
+    """A ``check`` hook rejecting non-positive values for ``names``."""
+
+    def check(params: Dict[str, Any]) -> None:
+        for name in names:
+            value = params.get(name)
+            if value is not None and value <= 0:
+                raise SpecError(
+                    f"arrival parameter {name!r} must be positive, "
+                    f"got {value}")
+
+    return check
+
+
+@register_component(
+    "arrivals", "poisson",
+    params=(
+        Param("rate_per_s", float, 1.0, kind="float", aliases=("rate",),
+              doc="mean arrival rate, requests/second"),
+    ),
+    check=_check_positive("rate_per_s"),
+    description="open-loop Poisson traffic at a fixed mean rate",
+)
 @dataclass
 class PoissonArrivals(ArrivalProcess):
     """Open-loop Poisson traffic at ``rate_per_s`` mean requests/second."""
@@ -109,6 +148,22 @@ class PoissonArrivals(ArrivalProcess):
         return times
 
 
+@register_component(
+    "arrivals", "mmpp",
+    params=(
+        Param("rate_calm_per_s", float, 1.0, kind="float",
+              aliases=("rate", "calm"),
+              doc="Poisson rate in the calm state, requests/second"),
+        Param("rate_burst_per_s", float, 4.0, kind="float",
+              aliases=("burst",),
+              doc="Poisson rate in the burst state, requests/second"),
+        Param("mean_dwell_s", float, 10.0, kind="float", aliases=("dwell",),
+              doc="mean exponential dwell time per state, seconds"),
+    ),
+    check=_check_positive("rate_calm_per_s", "rate_burst_per_s",
+                          "mean_dwell_s"),
+    description="two-state Markov-modulated Poisson process (calm/burst)",
+)
 @dataclass
 class MMPPArrivals(ArrivalProcess):
     """Two-state Markov-modulated Poisson process (calm ↔ burst).
@@ -150,6 +205,29 @@ class MMPPArrivals(ArrivalProcess):
         return times
 
 
+def _check_replay(params: Dict[str, Any]) -> None:
+    if not params.get("path"):
+        raise SpecError(
+            "replay arrivals need a log file: \"replay?path=arrivals.txt\"")
+
+
+def _replay_from_path(path: str = "") -> "ReplayArrivals":
+    if not path:
+        raise SpecError(
+            "replay arrivals need a log file: \"replay?path=arrivals.txt\"")
+    return ReplayArrivals(load_arrival_log(path))
+
+
+@register_component(
+    "arrivals", "replay",
+    params=(
+        Param("path", str, "", kind="str",
+              doc="arrival-log file: one timestamp (seconds) per line"),
+    ),
+    check=_check_replay,
+    factory=_replay_from_path,
+    description="arrival times replayed from a recorded log",
+)
 @dataclass
 class ReplayArrivals(ArrivalProcess):
     """Arrival times replayed from a recorded log."""
@@ -170,6 +248,109 @@ class ReplayArrivals(ArrivalProcess):
                 f"{n_requests} requested"
             )
         return list(self.times[:n_requests])
+
+
+def _check_closed_loop(params: Dict[str, Any]) -> None:
+    clients = params.get("clients")
+    if clients is not None and clients < 1:
+        raise SpecError(f"closed-loop clients must be >= 1, got {clients}")
+    for name in ("think_s", "service_s"):
+        value = params.get(name)
+        if value is not None and value <= 0:
+            raise SpecError(
+                f"closed-loop {name} must be positive, got {value}")
+
+
+@register_component(
+    "arrivals", "closed-loop",
+    params=(
+        Param("clients", int, 4,
+              doc="fixed client population issuing requests"),
+        Param("think_s", float, 2.0, kind="float", aliases=("think",),
+              doc="mean exponential think time between a client's requests"),
+        Param("service_s", float, 2.0, kind="float", aliases=("service",),
+              doc="a-priori estimate of one request's service time"),
+    ),
+    check=_check_closed_loop,
+    description="N closed-loop clients with exponential think times",
+)
+@dataclass
+class ClosedLoopArrivals(ArrivalProcess):
+    """A fixed population of clients with think times (closed system).
+
+    Each of ``clients`` users issues a request, waits for it to be
+    served, thinks for an exponentially distributed time (mean
+    ``think_s``), and issues the next — so the offered load is
+    self-limiting: at most ``clients`` requests are ever outstanding,
+    the classic interactive-traffic model (and the shape open-loop
+    Poisson sweeps miss: overload shows up as longer cycles, not an
+    unbounded queue).
+
+    Because arrival streams are materialized *before* the simulator
+    runs (so identical streams can be replayed against every
+    allocator), the in-service portion of each client's cycle uses an
+    a-priori estimate ``service_s`` instead of the simulated completion
+    time — a quasi-closed model: cycle = ``service_s`` + think.
+    """
+
+    clients: int = 4
+    think_s: float = 2.0
+    service_s: float = 2.0
+    kind: str = field(default="closed-loop", init=False)
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ValueError(f"clients must be >= 1, got {self.clients}")
+        if self.think_s <= 0 or self.service_s <= 0:
+            raise ValueError("think_s and service_s must be positive")
+
+    def arrival_times(self, n_requests: int, rng: random.Random) -> List[float]:
+        per_client = -(-n_requests // self.clients)  # ceil div
+        times: List[float] = []
+        for _ in range(self.clients):
+            # Each client starts after an initial think (staggering the
+            # population), then cycles think -> request -> service.
+            now = rng.expovariate(1.0 / self.think_s)
+            for _ in range(per_client):
+                times.append(now)
+                now += self.service_s + rng.expovariate(1.0 / self.think_s)
+        times.sort()
+        return times[:n_requests]
+
+
+@dataclass(frozen=True)
+class ArrivalSpec(ComponentSpec):
+    """A validated (arrival process, parameters) pair.
+
+    Speaks the same mini-DSL as :class:`repro.api.AllocatorSpec`::
+
+        poisson?rate=4.0
+        mmpp?rate=1&burst=6&dwell=5
+        replay?path=arrivals.txt
+        closed-loop?clients=8&think_s=0.5
+    """
+
+    kind: ClassVar[str] = "arrivals"
+
+    def build(self) -> ArrivalProcess:
+        """Instantiate the configured arrival process."""
+        return super().build()
+
+
+#: Anything the serving stack accepts where an arrival process is named.
+ArrivalLike = Union[str, ArrivalSpec, ArrivalProcess]
+
+
+def arrival_names(include_aliases: bool = False):
+    """Registered arrival-process names, optionally with aliases."""
+    return component_names("arrivals", include_aliases)
+
+
+def resolve_arrivals(kind: ArrivalLike) -> ArrivalProcess:
+    """Build an arrival process from a spec string, spec, or instance."""
+    if isinstance(kind, ArrivalProcess):
+        return kind
+    return ArrivalSpec.parse(kind).build()
 
 
 def load_arrival_log(path: Union[str, Path]) -> List[float]:

@@ -20,10 +20,12 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro.api.result import WorstMemberRunResult
 from repro.api.spec import AllocatorLike
+from repro.serve.autoscale import Autoscaler, AutoscalerLike, resolve_autoscaler
 from repro.serve.kvcache import KVCacheLike, KVCacheMetrics, KVCacheModel
 from repro.serve.metrics import ServingReport, SloConfig
+from repro.serve.preemption import PreemptionLike, PreemptionPolicy
 from repro.serve.request import ServeRequest
-from repro.serve.scheduler import Scheduler
+from repro.serve.scheduler import SchedulerLike
 from repro.serve.simulator import ServingConfig, ServingResult, ServingSimulator
 from repro.sim.engine import AllocatorFactory
 from repro.units import A100_80GB
@@ -34,6 +36,7 @@ def dispatch_requests(
     requests: Iterable[ServeRequest],
     n_replicas: int,
     drain_tokens_per_s: float = 3000.0,
+    autoscaler: Optional[Autoscaler] = None,
 ) -> List[List[ServeRequest]]:
     """Split one arrival stream into per-replica streams.
 
@@ -41,11 +44,19 @@ def dispatch_requests(
     smallest estimated token backlog, where backlogs drain at
     ``drain_tokens_per_s`` between arrivals.  This is what a front-end
     can actually compute online — it never peeks at simulation results.
+
+    An ``autoscaler`` (see :mod:`repro.serve.autoscale`) decides per
+    arrival how many of the ``n_replicas`` are *active*; arrivals only
+    land on active replicas.  ``None`` (or the registered ``"none"``
+    policy) keeps every replica active from the first arrival — the
+    front-end's original behaviour, bit for bit.
     """
     if n_replicas < 1:
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
     backlog = [0.0] * n_replicas
     last_t = 0.0
+    active = (autoscaler.initial_replicas(n_replicas)
+              if autoscaler is not None else n_replicas)
     shards: List[List[ServeRequest]] = [[] for _ in range(n_replicas)]
     for request in sorted(requests, key=lambda r: (r.arrival_s, r.req_id)):
         elapsed = max(0.0, request.arrival_s - last_t)
@@ -59,7 +70,10 @@ def dispatch_requests(
         for i in range(n_replicas):
             drained_backlog = backlog[i] - drained
             backlog[i] = drained_backlog if drained_backlog > 0.0 else 0.0
-        target = min(range(n_replicas), key=lambda i: (backlog[i], i))
+        if autoscaler is not None:
+            active = min(max(autoscaler.decide(backlog, active, n_replicas), 1),
+                         n_replicas)
+        target = min(range(active), key=lambda i: (backlog[i], i))
         backlog[target] += float(request.total_tokens)
         shards[target].append(request)
     return shards
@@ -70,6 +84,7 @@ class ServeClusterResult(WorstMemberRunResult):
     """Aggregated outcome of one multi-replica serving run."""
 
     replicas: List[ServingResult] = field(default_factory=list)
+    autoscaler_name: str = "none"
     _merged: Optional[List[ServeRequest]] = field(default=None, init=False,
                                                   repr=False, compare=False)
 
@@ -128,6 +143,17 @@ class ServeClusterResult(WorstMemberRunResult):
         return self.replicas[0].kv_cache_name if self.replicas else "chunked"
 
     @property
+    def preemption_name(self) -> str:
+        """The fleet's (uniform) preemption policy name."""
+        return self.replicas[0].preemption_name if self.replicas else "recompute"
+
+    @property
+    def active_replicas(self) -> int:
+        """Replicas the front-end actually routed traffic to (an
+        autoscaled fleet may leave some replicas idle)."""
+        return sum(1 for r in self.replicas if r.requests)
+
+    @property
     def kv_metrics(self) -> Optional[KVCacheMetrics]:
         """Fleet-wide KV-cache metrics, merged across replicas.
 
@@ -150,6 +176,7 @@ class ServeClusterResult(WorstMemberRunResult):
             merged.peak_blocks += metrics.peak_blocks
             merged.grow_copy_bytes += metrics.grow_copy_bytes
             merged.preempt_copy_bytes += metrics.preempt_copy_bytes
+            merged.swapped_bytes += metrics.swapped_bytes
             merged.util_sum += metrics.util_sum
             merged.util_samples += metrics.util_samples
         return merged
@@ -163,10 +190,16 @@ class ServeClusterResult(WorstMemberRunResult):
             "preemptions": sum(r.preemptions for r in self.replicas),
             "makespan_s": self.makespan_s,
             "kv_cache": self.kv_cache_name,
+            "preemption": self.preemption_name,
         }
+        if self.autoscaler_name != "none":
+            out["autoscaler"] = self.autoscaler_name
+            out["active_replicas"] = self.active_replicas
         merged = self.kv_metrics
         if merged is not None:
             out["kv_internal_frag"] = round(merged.internal_frag_ratio, 3)
+            if merged.swapped_bytes:
+                out["swapped_mb"] = round(merged.swapped_bytes / (1 << 20), 1)
         return out
 
     def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
@@ -189,27 +222,43 @@ def run_serving_cluster(
     n_replicas: int = 2,
     allocator: Union[AllocatorLike, AllocatorFactory] = "gmlake",
     capacity: int = A100_80GB,
-    scheduler: Union[str, Scheduler] = "fcfs",
+    scheduler: SchedulerLike = "fcfs",
     config: Optional[ServingConfig] = None,
     kv_cache: KVCacheLike = "chunked",
+    preemption: PreemptionLike = "recompute",
+    autoscaler: AutoscalerLike = "none",
 ) -> ServeClusterResult:
-    """Load-balance ``requests`` over ``n_replicas`` single-GPU replicas."""
+    """Load-balance ``requests`` over ``n_replicas`` single-GPU replicas.
+
+    ``autoscaler`` drives how many replicas take traffic per arrival
+    (see :mod:`repro.serve.autoscale`); ``n_replicas`` is the fleet's
+    maximum size.  Every replica still runs (an idle replica just
+    serves an empty stream), so memory headlines stay comparable.
+    """
     if isinstance(kv_cache, KVCacheModel):
         raise ValueError(
             "pass kv_cache as a spec string or KVCacheSpec so each "
             "replica builds its own model (a shared instance would mix "
             "block tables across replicas)"
         )
+    if isinstance(preemption, PreemptionPolicy):
+        raise ValueError(
+            "pass preemption as a spec string or PreemptionSpec so each "
+            "replica builds its own policy (a shared instance would mix "
+            "swap ledgers across replicas)"
+        )
     model = get_model(model) if isinstance(model, str) else model
     config = config if config is not None else ServingConfig()
+    scaler = resolve_autoscaler(autoscaler)
     shards = dispatch_requests(requests, n_replicas,
-                               drain_tokens_per_s=config.decode_tokens_per_s)
-    result = ServeClusterResult()
+                               drain_tokens_per_s=config.decode_tokens_per_s,
+                               autoscaler=scaler)
+    result = ServeClusterResult(autoscaler_name=scaler.name)
     for replica_id, shard in enumerate(shards):
         simulator = ServingSimulator(
             model, allocator=allocator, capacity=capacity,
             scheduler=scheduler, config=config, replica_id=replica_id,
-            kv_cache=kv_cache,
+            kv_cache=kv_cache, preemption=preemption,
         )
         result.replicas.append(simulator.run(shard))
     return result

@@ -35,22 +35,29 @@ copy costs) next to the allocator's pool metrics.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.allocators.base import BaseAllocator
 from repro.allocators.stats import AllocatorStats
 from repro.api.registry import (
+    ComponentInfo,
     Param,
     SpecError,
-    find_param,
-    parse_param_value,
+    component_names,
+    get_component_info,
+    register_component,
+    register_kind,
 )
-from repro.api.spec import parse_query
+from repro.api.spec import ComponentSpec
 from repro.serve.request import ServeRequest
 from repro.units import align_up
 from repro.workloads.inference import kv_bytes
 from repro.workloads.models import ModelSpec
+
+#: The live ``kv-cache`` catalogue dict, filled by the registrations
+#: below (exposed publicly as :data:`KV_CACHE_MODELS`).
+_KV_CACHE_REGISTRY = register_kind("kv-cache", label="KV-cache model")
 
 
 # ----------------------------------------------------------------------
@@ -84,6 +91,10 @@ class KVCacheMetrics:
     preempt_copy_bytes:
         KV bytes discarded at preemption and recomputed on re-admission
         (the copy-on-preempt / recompute cost, both models).
+    swapped_bytes:
+        KV bytes moved over PCIe by swap-based preemption (device→host
+        at eviction plus host→device at re-admission; 0 under the
+        default recompute policy).
     util_sum / util_samples:
         Accumulated per-decode-step KV utilization samples
         (used tokens / allocated token capacity over the running batch).
@@ -97,6 +108,7 @@ class KVCacheMetrics:
     peak_blocks: int = 0
     grow_copy_bytes: int = 0
     preempt_copy_bytes: int = 0
+    swapped_bytes: int = 0
     util_sum: float = 0.0
     util_samples: int = 0
 
@@ -208,6 +220,13 @@ class KVCacheModel(ABC):
                        pool_reuse: float = 0.5) -> int:
         """Bytes of KV the allocator can plausibly hand out right now."""
 
+    # -- preemption-policy feedback ------------------------------------
+    @abstractmethod
+    def held_bytes(self, request: ServeRequest) -> int:
+        """KV bytes ``request`` currently holds on the device (0 if
+        none) — what a swap-based preemption policy must move over
+        PCIe to evict it."""
+
     # -- invariants / metrics ------------------------------------------
     @property
     @abstractmethod
@@ -292,6 +311,10 @@ class ChunkedKVCache(KVCacheModel):
     def projected_bytes(self, request: ServeRequest) -> int:
         tokens = align_up(max(request.total_tokens, 1), self.chunk_tokens)
         return kv_bytes(self.model, tokens)
+
+    def held_bytes(self, request: ServeRequest) -> int:
+        held = self._live.get(request.req_id)
+        return held[1] if held is not None else 0
 
     def headroom_bytes(self, stats: AllocatorStats, capacity: int,
                        pool_reuse: float = 0.5) -> int:
@@ -382,6 +405,10 @@ class PagedKVCache(KVCacheModel):
     def projected_bytes(self, request: ServeRequest) -> int:
         return self._blocks_for(request.total_tokens) * self.block_bytes
 
+    def held_bytes(self, request: ServeRequest) -> int:
+        table = self._tables.get(request.req_id)
+        return len(table) * self.block_bytes if table else 0
+
     def free_blocks(self, stats: AllocatorStats, capacity: int) -> int:
         """Whole blocks the pool can still hand out right now.
 
@@ -414,62 +441,61 @@ class PagedKVCache(KVCacheModel):
 # ----------------------------------------------------------------------
 # Registry + spec mini-DSL
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
-class KVCacheInfo:
-    """Registry metadata for one KV-cache model."""
-
-    name: str
-    cls: type
-    params: Tuple[Param, ...] = ()
-    description: str = ""
-
-    def find_param(self, key: str) -> Tuple[Param, float]:
-        return find_param(self.params, f"KV cache {self.name!r}", key)
+def _check_token_granularity(params: Dict[str, Any]) -> None:
+    """Token-granularity params must be >= 1 at spec-parse time."""
+    for name, value in params.items():
+        if isinstance(value, int) and value < 1:
+            raise SpecError(
+                f"KV cache parameter {name!r} must be >= 1, got {value}")
 
 
-#: The KV-cache model catalogue — the serving-side sibling of
-#: :func:`repro.api.registry.allocator_registry`.
-KV_CACHE_MODELS: Dict[str, KVCacheInfo] = {
-    "chunked": KVCacheInfo(
-        name="chunked",
-        cls=ChunkedKVCache,
-        params=(
-            Param("chunk_tokens", int, 256,
-                  doc="KV growth granularity in tokens "
-                      "(default: ServingConfig.kv_chunk_tokens)"),
-        ),
-        description="contiguous per-request KV tensors grown by chunks "
-                    "(pool-level defragmentation territory)",
+#: Backwards-compatible name — KV-cache registry entries are plain
+#: :class:`~repro.api.registry.ComponentInfo` records.
+KVCacheInfo = ComponentInfo
+
+register_component(
+    "kv-cache", "chunked",
+    params=(
+        Param("chunk_tokens", int, 256,
+              doc="KV growth granularity in tokens "
+                  "(default: ServingConfig.kv_chunk_tokens)"),
     ),
-    "paged": KVCacheInfo(
-        name="paged",
-        cls=PagedKVCache,
-        params=(
-            Param("block_tokens", int, 16,
-                  doc="tokens per fixed-size KV block (vLLM-style)"),
-        ),
-        description="fixed-size blocks + per-request block tables "
-                    "(cache-level defragmentation)",
+    check=_check_token_granularity,
+    description="contiguous per-request KV tensors grown by chunks "
+                "(pool-level defragmentation territory)",
+)(ChunkedKVCache)
+
+register_component(
+    "kv-cache", "paged",
+    params=(
+        Param("block_tokens", int, 16,
+              doc="tokens per fixed-size KV block (vLLM-style)"),
     ),
-}
+    check=_check_token_granularity,
+    description="fixed-size blocks + per-request block tables "
+                "(cache-level defragmentation)",
+)(PagedKVCache)
+
+
+#: The KV-cache model catalogue — the *live* ``kv-cache`` kind dict of
+#: the component registry (the serving-side sibling of the allocator
+#: kind's ``_REGISTRY``), so pre-registry extension code that inserted
+#: entries directly keeps working and later registrations show up.
+KV_CACHE_MODELS: Dict[str, ComponentInfo] = _KV_CACHE_REGISTRY
 
 
 def kv_cache_names() -> List[str]:
     """Registered KV-cache model names."""
-    return sorted(KV_CACHE_MODELS)
+    return component_names("kv-cache")
 
 
-def get_kv_cache_info(name: str) -> KVCacheInfo:
+def get_kv_cache_info(name: str) -> ComponentInfo:
     """Look up KV-cache registry metadata; raises :class:`SpecError`."""
-    key = name.strip().lower()
-    if key not in KV_CACHE_MODELS:
-        known = ", ".join(kv_cache_names())
-        raise SpecError(f"unknown KV-cache model {name!r}; known: {known}")
-    return KV_CACHE_MODELS[key]
+    return get_component_info("kv-cache", name)
 
 
 @dataclass(frozen=True)
-class KVCacheSpec:
+class KVCacheSpec(ComponentSpec):
     """A validated (KV-cache model, parameters) pair.
 
     Speaks the same mini-DSL as :class:`repro.api.AllocatorSpec`::
@@ -482,66 +508,7 @@ class KVCacheSpec:
     registry, so specs stay minimal and JSON-stable.
     """
 
-    name: str
-    params: Dict[str, Any] = field(default_factory=dict)
-
-    def __post_init__(self):
-        info = get_kv_cache_info(self.name)  # raises on unknown name
-        object.__setattr__(self, "name", info.name)
-        validated: Dict[str, Any] = {}
-        for key, raw in self.params.items():
-            param, scale = info.find_param(str(key))
-            if param.name in validated:
-                raise SpecError(
-                    f"parameter {param.name!r} set twice in {self.name} "
-                    f"KV-cache spec (key {key!r} is an alias)"
-                )
-            validated[param.name] = parse_param_value(
-                f"KV cache {info.name!r}", param, raw, scale)
-            if param.kind in ("int", "size") and validated[param.name] < 1:
-                raise SpecError(
-                    f"KV cache {info.name!r} parameter {param.name!r} "
-                    f"must be >= 1, got {validated[param.name]}"
-                )
-        object.__setattr__(self, "params", validated)
-
-    # ------------------------------------------------------------------
-    @classmethod
-    def parse(cls, text: Union[str, "KVCacheSpec"]) -> "KVCacheSpec":
-        """Parse ``"name"`` or ``"name?key=value&key=value"``."""
-        if isinstance(text, KVCacheSpec):
-            return text
-        name, params = parse_query(text)
-        return cls(name, params)
-
-    def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe representation; round-trips via :meth:`from_dict`."""
-        out: Dict[str, Any] = {"name": self.name}
-        if self.params:
-            out["params"] = dict(self.params)
-        return out
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "KVCacheSpec":
-        """Inverse of :meth:`to_dict`."""
-        if "name" not in data:
-            raise SpecError(f"KV-cache spec dict needs a 'name': {data!r}")
-        unknown = set(data) - {"name", "params"}
-        if unknown:
-            raise SpecError(f"unknown KV-cache spec keys {sorted(unknown)}")
-        return cls(str(data["name"]), dict(data.get("params") or {}))
-
-    def spec_string(self) -> str:
-        """The canonical mini-DSL string; :meth:`parse` round-trips it."""
-        if not self.params:
-            return self.name
-        items = [f"{key}={value}" for key, value in sorted(self.params.items())]
-        return f"{self.name}?{'&'.join(items)}"
-
-    @property
-    def label(self) -> str:
-        """Short display label for tables."""
-        return self.spec_string()
+    kind: ClassVar[str] = "kv-cache"
 
     def build(self, model: ModelSpec,
               default_chunk_tokens: int = 256) -> KVCacheModel:
@@ -551,20 +518,11 @@ class KVCacheSpec:
         when the spec does not pin ``chunk_tokens`` (the simulator
         passes its ``ServingConfig.kv_chunk_tokens``).
         """
-        info = get_kv_cache_info(self.name)
+        info = self.info
         params = dict(self.params)
         if info.name == "chunked":
             params.setdefault("chunk_tokens", default_chunk_tokens)
-        try:
-            return info.cls(model, **params)
-        except (TypeError, ValueError) as exc:
-            raise SpecError(
-                f"cannot construct KV cache {self.name!r} "
-                f"with params {params!r}: {exc}"
-            ) from exc
-
-    def __str__(self) -> str:
-        return self.spec_string()
+        return info.build(model, params=params)
 
 
 #: Anything the serving stack accepts where a KV-cache model is named.

@@ -1,0 +1,253 @@
+"""Preemption policies: what happens when the KV cache cannot grow.
+
+When a decode step needs KV memory the allocator cannot provide, the
+simulator evicts a victim request.  *How* the victim's KV is handled —
+and what it costs to bring the request back — is the preemption
+policy, registered under the ``preemption`` component kind and named
+by the same ``"name?key=value"`` mini-DSL as allocators:
+
+``recompute``
+    vLLM-style recompute preemption (the default, and the behaviour
+    the serving simulator always had): the victim's KV is freed
+    outright and rebuilt on re-admission by re-running prefill over
+    the full context (prompt plus already-generated tokens).  Cheap to
+    evict, pays GPU compute to restore.
+
+``swap``
+    Host-offload preemption: the victim's KV is copied to host memory
+    over PCIe before the device copy is freed, and copied back (again
+    over PCIe) on re-admission instead of being recomputed.  Both
+    transfers are charged through the device's
+    :class:`~repro.gpu.latency.LatencyModel` (``pcie_transfer``) and
+    accounted as ``swapped_bytes`` in
+    :class:`~repro.serve.kvcache.KVCacheMetrics`.  Eviction costs
+    PCIe time up front, but restoration is bandwidth-bound instead of
+    compute-bound — the classic trade serving stacks tune.
+
+The *victim selection* (youngest other running request loses its slot
+first) and the queue bookkeeping (requeue, ``max_preemptions``,
+timeout deadlines) stay in the simulator; the policy owns the victim's
+KV bytes and the restore cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional, Union
+
+from repro.api.registry import (
+    Param,
+    SpecError,
+    component_names,
+    register_component,
+    register_kind,
+)
+from repro.api.spec import ComponentSpec
+from repro.serve.request import ServeRequest
+
+register_kind("preemption", label="preemption policy")
+
+
+class PreemptionPolicy(ABC):
+    """How a preempted request's KV leaves the device and comes back.
+
+    A policy instance carries per-run state (e.g. the swap policy's
+    host-side ledger), so — like a
+    :class:`~repro.serve.kvcache.KVCacheModel` — it binds to exactly
+    one simulator.
+    """
+
+    name: str = "preemption"
+
+    def __init__(self):
+        self._sim = None
+
+    def bind(self, simulator) -> None:
+        """Attach the owning simulator (once, at startup)."""
+        if self._sim is not None:
+            raise ValueError(
+                f"preemption policy {self.name!r} is already bound to a "
+                "replica; a policy instance carries per-run state, so "
+                "build a fresh one (or pass a spec string) per simulator"
+            )
+        self._sim = simulator
+
+    # -- hooks the simulator drives ------------------------------------
+    def select_victim(
+        self, running: List[ServeRequest], request: ServeRequest
+    ) -> Optional[ServeRequest]:
+        """The running request to evict so ``request``'s KV can grow.
+
+        Default: the youngest *other* running request (vLLM-style —
+        the latest admitted loses its slot first); ``None`` when no
+        other victim exists and ``request`` itself must yield.
+        """
+        for candidate in reversed(running):
+            if candidate is not request:
+                return candidate
+        return None
+
+    def evict(self, request: ServeRequest, requeue: bool = True) -> None:
+        """Release the victim's KV (charging any offload cost).
+
+        ``requeue`` is ``False`` when the simulator already knows the
+        victim will be rejected (preemption budget exhausted) — an
+        offloading policy must not pay to preserve KV that can never
+        be restored.  The recompute default ignores it: the discarded
+        KV is noted either way, matching the simulator's original
+        (golden-pinned) accounting.
+        """
+        del requeue
+        self._sim.kv.release(request, preempted=True)
+
+    def restore_us(self, request: ServeRequest, context: int) -> float:
+        """Microseconds to make an admitted request decode-ready.
+
+        Called right after the request's KV capacity was provisioned:
+        for a fresh request this is the prefill over its prompt; for a
+        preempted one it is whatever the policy needs to rebuild the
+        KV contents (recompute prefill, swap-in transfer, ...).
+        """
+        return context / self._sim.config.prefill_tokens_per_s * 1e6
+
+    def forget(self, request: ServeRequest) -> None:
+        """Drop any off-device state held for ``request`` (rejection)."""
+
+
+@register_component(
+    "preemption", "recompute",
+    description="free the victim's KV and re-run prefill over the full "
+                "context on re-admission (vLLM-style recompute)",
+)
+class RecomputePreemption(PreemptionPolicy):
+    """Recompute preemption — the simulator's original behaviour.
+
+    Eviction frees the KV and charges nothing extra; re-admission
+    re-runs prefill over the full context (prompt plus generated
+    tokens), exactly like a fresh admission of that context.  All
+    methods are the :class:`PreemptionPolicy` defaults — this class
+    exists so ``"recompute"`` is an addressable registry entry.
+    """
+
+    name = "recompute"
+
+
+def _check_swap(params: Dict[str, Any]) -> None:
+    bandwidth = params.get("pcie_gb_per_s")
+    # 0 is the documented sentinel for "use the device latency model's
+    # default bandwidth"; only genuinely negative values are malformed.
+    if bandwidth is not None and bandwidth < 0:
+        raise SpecError(
+            f"swap preemption pcie_gb_per_s must be >= 0 "
+            f"(0 = device default), got {bandwidth}")
+
+
+@register_component(
+    "preemption", "swap",
+    params=(
+        Param("pcie_gb_per_s", float, 0.0, kind="float",
+              aliases=("gb_per_s",),
+              doc="host<->device bandwidth override, GB/s "
+                  "(0 = the device latency model's default)"),
+    ),
+    check=_check_swap,
+    description="offload the victim's KV to host memory over PCIe and "
+                "swap it back on re-admission",
+)
+class SwapPreemption(PreemptionPolicy):
+    """Host-offload (swap) preemption with PCIe transfer costs.
+
+    Eviction copies the victim's live KV bytes to host memory (PCIe
+    device→host, charged to the simulated clock through the device's
+    latency model) before freeing the device copy; re-admission
+    allocates fresh device KV and copies the bytes back (host→device)
+    instead of recomputing prefill.  Every byte moved in either
+    direction lands in ``KVCacheMetrics.swapped_bytes``.
+    """
+
+    name = "swap"
+
+    def __init__(self, pcie_gb_per_s: float = 0.0):
+        super().__init__()
+        if pcie_gb_per_s < 0:
+            raise ValueError(
+                f"pcie_gb_per_s must be >= 0, got {pcie_gb_per_s}")
+        self.pcie_gb_per_s = pcie_gb_per_s
+        #: req_id -> KV bytes parked in host memory.
+        self._swapped: Dict[int, int] = {}
+
+    def _transfer_us(self, size: int) -> float:
+        latency = self._sim.device.latency
+        return latency.pcie_transfer(size, self.pcie_gb_per_s or None)
+
+    def evict(self, request: ServeRequest, requeue: bool = True) -> None:
+        kv = self._sim.kv
+        held = kv.held_bytes(request)
+        if held > 0 and requeue:
+            # Device->host copy happens before the device KV is freed
+            # (the copy needs the source live), so the clock charge
+            # precedes the release.
+            self._sim.session.advance(self._transfer_us(held))
+            kv.metrics.swapped_bytes += held
+            self._swapped[request.req_id] = held
+            kv.release(request)
+        else:
+            # A victim that will not requeue (preemption budget
+            # exhausted) is dropped without paying PCIe for bytes that
+            # can never be swapped back — its KV is discarded outright,
+            # so it lands in the same discard ledger
+            # (``preempt_copy_bytes``) a recompute eviction uses,
+            # keeping cross-policy copy comparisons honest.
+            kv.release(request, preempted=True)
+
+    def restore_us(self, request: ServeRequest, context: int) -> float:
+        held = self._swapped.pop(request.req_id, None)
+        if held is None:
+            # Fresh admission (or a request evicted before it held any
+            # KV): normal prefill.
+            return super().restore_us(request, context)
+        self._sim.kv.metrics.swapped_bytes += held
+        return self._transfer_us(held)
+
+    def forget(self, request: ServeRequest) -> None:
+        self._swapped.pop(request.req_id, None)
+
+    @property
+    def swapped_out_requests(self) -> int:
+        """Requests currently parked in host memory."""
+        return len(self._swapped)
+
+
+@dataclass(frozen=True)
+class PreemptionSpec(ComponentSpec):
+    """A validated (preemption policy, parameters) pair.
+
+    Speaks the same mini-DSL as :class:`repro.api.AllocatorSpec`::
+
+        recompute
+        swap
+        swap?pcie_gb_per_s=12
+    """
+
+    kind: ClassVar[str] = "preemption"
+
+    def build(self) -> PreemptionPolicy:
+        """Instantiate the configured preemption policy."""
+        return super().build()
+
+
+#: Anything the serving stack accepts where a preemption policy is named.
+PreemptionLike = Union[str, PreemptionSpec, PreemptionPolicy]
+
+
+def preemption_names(include_aliases: bool = False):
+    """Registered preemption-policy names, optionally with aliases."""
+    return component_names("preemption", include_aliases)
+
+
+def resolve_preemption(kind: PreemptionLike) -> PreemptionPolicy:
+    """Build a preemption policy from a spec string, spec, or instance."""
+    if isinstance(kind, PreemptionPolicy):
+        return kind
+    return PreemptionSpec.parse(kind).build()

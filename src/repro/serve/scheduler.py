@@ -7,26 +7,40 @@ memory-aware policy holds a request back when the pool has no headroom,
 so fragmentation (allocator-dependent!) directly changes admission
 timing, queueing delay and therefore every latency metric.
 
-Policies
---------
+Policies (registered under the ``scheduler`` component kind, named by
+the same ``"name?key=value"`` mini-DSL as allocators)
+--------------------------------------------------------------------
 ``fcfs``            strict arrival order.
 ``shortest-prompt`` admit the queued request with the smallest current
-                    context first (SJF on prefill work).
+                    context first (SJF on prefill work; alias ``sjf``).
 ``memory-aware``    arrival order, but skip requests whose projected
                     full-context KV footprint exceeds the allocator's
-                    current headroom (with a safety margin).
+                    current headroom (``margin`` is the safety factor:
+                    ``"memory-aware?margin=1.5"``).
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Union
+from typing import Any, ClassVar, Callable, Dict, Optional, Sequence, Union
 
 from repro.allocators.base import BaseAllocator
+from repro.api.registry import (
+    Param,
+    SpecError,
+    component_names,
+    component_registry,
+    register_component,
+    register_kind,
+)
+from repro.api.spec import ComponentSpec
 from repro.serve.kvcache import KVCacheModel
 from repro.serve.request import ServeRequest
 from repro.workloads.models import ModelSpec
+
+register_kind("scheduler", label="scheduler")
 
 
 @dataclass
@@ -82,6 +96,10 @@ class Scheduler(ABC):
         """
 
 
+@register_component(
+    "scheduler", "fcfs",
+    description="first-come-first-served: strict arrival order",
+)
 class FcfsScheduler(Scheduler):
     """First-come-first-served: strict arrival order."""
 
@@ -92,6 +110,11 @@ class FcfsScheduler(Scheduler):
         return queue[0] if queue else None
 
 
+@register_component(
+    "scheduler", "shortest-prompt",
+    aliases=("sjf",),
+    description="admit the smallest prefill first (SJF on current context)",
+)
 class ShortestPromptScheduler(Scheduler):
     """Admit the smallest prefill first (SJF on the current context).
 
@@ -108,6 +131,23 @@ class ShortestPromptScheduler(Scheduler):
         return min(queue, key=lambda r: (r.context_tokens, r.req_id))
 
 
+def _check_margin(params: Dict[str, Any]) -> None:
+    margin = params.get("margin")
+    if margin is not None and margin < 1.0:
+        raise SpecError(
+            f"memory-aware scheduler margin must be >= 1.0, got {margin}")
+
+
+@register_component(
+    "scheduler", "memory-aware",
+    params=(
+        Param("margin", float, 1.25, kind="float",
+              doc="safety factor on the projected KV footprint"),
+    ),
+    check=_check_margin,
+    description="FCFS, but only admit what the allocator can hold "
+                "(skips requests whose projected KV exceeds headroom)",
+)
 class MemoryAwareScheduler(Scheduler):
     """FCFS, but only admit what the allocator can actually hold.
 
@@ -132,22 +172,69 @@ class MemoryAwareScheduler(Scheduler):
         return None
 
 
-#: Named scheduler factories (the allocator equivalent lives in
-#: :mod:`repro.api.registry`).
+@dataclass(frozen=True)
+class SchedulerSpec(ComponentSpec):
+    """A validated (scheduler, parameters) pair.
+
+    Speaks the same mini-DSL as :class:`repro.api.AllocatorSpec`::
+
+        fcfs
+        sjf                           # alias of shortest-prompt
+        memory-aware?margin=1.5
+    """
+
+    kind: ClassVar[str] = "scheduler"
+
+    def build(self) -> Scheduler:
+        """Instantiate the configured scheduler."""
+        return super().build()
+
+
+#: Anything the serving stack accepts where a scheduler is named.
+SchedulerLike = Union[str, SchedulerSpec, Scheduler]
+
+
+def scheduler_names(include_aliases: bool = False):
+    """Registered scheduler names, optionally with aliases."""
+    return component_names("scheduler", include_aliases)
+
+
+def resolve_scheduler(kind: SchedulerLike) -> Scheduler:
+    """Build a scheduler from a spec string, spec, or instance."""
+    if isinstance(kind, Scheduler):
+        return kind
+    return SchedulerSpec.parse(kind).build()
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims (pre-registry entry points)
+# ----------------------------------------------------------------------
+#: Deprecated shim — the scheduler catalogue now lives in the
+#: kind-aware component registry; this dict is a snapshot of it
+#: (aliases included) **frozen at import**, for callers that predate
+#: :class:`SchedulerSpec`.  Like the ``ALLOCATOR_FACTORIES`` shim, it
+#: does not see later ``register_component("scheduler", ...)`` calls —
+#: enumerate the registry (``scheduler_names()``) instead.
 SCHEDULER_FACTORIES: Dict[str, Callable[[], Scheduler]] = {
-    "fcfs": FcfsScheduler,
-    "shortest-prompt": ShortestPromptScheduler,
-    "sjf": ShortestPromptScheduler,  # alias
-    "memory-aware": MemoryAwareScheduler,
+    key: info.cls
+    for info in component_registry("scheduler").values()
+    for key in (info.name, *info.aliases)
 }
 
 
 def make_scheduler(kind: Union[str, Scheduler]) -> Scheduler:
-    """Instantiate a scheduler by name (or pass one through)."""
-    if isinstance(kind, Scheduler):
-        return kind
-    key = kind.lower()
-    if key not in SCHEDULER_FACTORIES:
-        known = ", ".join(sorted(SCHEDULER_FACTORIES))
-        raise KeyError(f"unknown scheduler {kind!r}; known: {known}")
-    return SCHEDULER_FACTORIES[key]()
+    """Instantiate a scheduler by name (or pass one through).
+
+    .. deprecated::
+        Thin shim over :func:`resolve_scheduler`; new code should name
+        schedulers with a :class:`SchedulerSpec` (e.g.
+        ``"memory-aware?margin=1.5"``), which also carries parameters
+        through CLI flags and JSON experiment files.  Unknown names
+        still raise :class:`KeyError`.
+    """
+    warnings.warn(
+        "make_scheduler is deprecated; use repro.serve.resolve_scheduler "
+        "or a SchedulerSpec (e.g. 'memory-aware?margin=1.5')",
+        DeprecationWarning, stacklevel=2,
+    )
+    return resolve_scheduler(kind)

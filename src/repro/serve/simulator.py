@@ -42,9 +42,14 @@ from repro.serve.kvcache import (
     KVCacheMetrics,
     resolve_kv_cache,
 )
+from repro.serve.preemption import PreemptionLike, resolve_preemption
 from repro.serve.request import RequestState, ServeRequest
 from repro.serve.metrics import ServingReport, SloConfig
-from repro.serve.scheduler import Scheduler, SchedulerView, make_scheduler
+from repro.serve.scheduler import (
+    SchedulerLike,
+    SchedulerView,
+    resolve_scheduler,
+)
 from repro.sim.engine import AllocatorFactory, ReplaySession
 from repro.sim.timeline import TimelinePoint
 from repro.units import A100_80GB, GB
@@ -124,6 +129,7 @@ class ServingResult:
     replica_id: int = 0
     kv_cache_name: str = "chunked"
     kv_metrics: Optional[KVCacheMetrics] = None
+    preemption_name: str = "recompute"
     _tallies: "Optional[tuple]" = field(default=None, init=False,
                                         repr=False, compare=False)
 
@@ -200,10 +206,14 @@ class ServingResult:
             "preemptions": self.preemptions,
             "makespan_s": self.makespan_s,
             "kv_cache": self.kv_cache_name,
+            "preemption": self.preemption_name,
         }
         if self.kv_metrics is not None:
             out["kv_internal_frag"] = round(
                 self.kv_metrics.internal_frag_ratio, 3)
+            if self.kv_metrics.swapped_bytes:
+                out["swapped_mb"] = round(
+                    self.kv_metrics.swapped_bytes / (1 << 20), 1)
         return out
 
     def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
@@ -223,10 +233,11 @@ class ServingSimulator:
         model: Union[ModelSpec, str],
         allocator: Union[AllocatorLike, AllocatorFactory] = "gmlake",
         capacity: int = A100_80GB,
-        scheduler: Union[str, Scheduler] = "fcfs",
+        scheduler: SchedulerLike = "fcfs",
         config: Optional[ServingConfig] = None,
         replica_id: int = 0,
         kv_cache: KVCacheLike = "chunked",
+        preemption: PreemptionLike = "recompute",
     ):
         self.model = get_model(model) if isinstance(model, str) else model
         self.config = config if config is not None else ServingConfig()
@@ -234,12 +245,14 @@ class ServingSimulator:
         self.replica_id = replica_id
         self.device = GpuDevice(capacity=capacity)
         self.allocator = resolve_allocator(allocator, self.device)
-        self.scheduler = make_scheduler(scheduler)
+        self.scheduler = resolve_scheduler(scheduler)
         self.session = ReplaySession(self.allocator)
         self.kv = resolve_kv_cache(
             kv_cache, self.model,
             default_chunk_tokens=self.config.kv_chunk_tokens)
         self.kv.bind(self.session, self.allocator)
+        self.preemption = resolve_preemption(preemption)
+        self.preemption.bind(self)
         self._step_count = 0
         # decode_workspace_bytes is a pure function of (model, batch),
         # evaluated once per decode step — memoize per batch size.
@@ -267,18 +280,27 @@ class ServingSimulator:
 
     def _reject(self, request: ServeRequest, reason: str) -> None:
         self.kv.release(request)
+        self.preemption.forget(request)
         request.state = RequestState.REJECTED
         request.rejected_s = self._now()
         request.reject_reason = reason
 
     def _preempt(self, request: ServeRequest, running: List[ServeRequest],
                  queue: "Deque[ServeRequest]") -> None:
-        """Evict a running request: free its KV, requeue (or reject)."""
-        self.kv.release(request, preempted=True)
+        """Evict a running request: the preemption policy handles its
+        KV (free, or offload to host), then requeue (or reject).
+
+        ``requeue`` tells the policy whether the victim will come back
+        — a real stack knows the preemption budget before evicting, so
+        a swap policy must not pay PCIe to offload a request that is
+        about to be rejected anyway.
+        """
+        requeue = request.preemptions + 1 <= self.config.max_preemptions
+        self.preemption.evict(request, requeue=requeue)
         if request in running:
             running.remove(request)
         request.preemptions += 1
-        if request.preemptions > self.config.max_preemptions:
+        if not requeue:
             self._reject(request, "preempted-out")
             return
         request.state = RequestState.PREEMPTED
@@ -304,10 +326,10 @@ class ServingSimulator:
             return False
         if request.admitted_s is None:
             request.admitted_s = self._now()
-        # Prefill recomputes the full context (prompt, plus any tokens
-        # generated before a preemption — recompute-style restore).
-        self.session.advance(
-            context / self.config.prefill_tokens_per_s * 1e6)
+        # Make the request decode-ready: prefill over the full context
+        # for fresh (and recompute-restored) requests, a PCIe swap-in
+        # for requests a swap policy parked in host memory.
+        self.session.advance(self.preemption.restore_us(request, context))
         request.state = RequestState.RUNNING
         running.append(request)
         if request.tokens_done == 0:
@@ -418,13 +440,13 @@ class ServingSimulator:
         while True:
             if self.kv.grow(request):
                 return True
-            victims = [r for r in running if r is not request]
-            if not victims:
+            victim = self.preemption.select_victim(running, request)
+            if victim is None:
                 self._preempt(request, running, queue)
                 return False
-            # Evict the youngest other request (vLLM-style: latest
-            # admitted loses its slot first) and retry the growth.
-            self._preempt(victims[-1], running, queue)
+            # Evict the policy's victim (default: the youngest other
+            # request, vLLM-style) and retry the growth.
+            self._preempt(victim, running, queue)
 
     def _decode_step(self, queue: "Deque[ServeRequest]",
                      running: List[ServeRequest]) -> None:
@@ -529,6 +551,7 @@ class ServingSimulator:
             replica_id=self.replica_id,
             kv_cache_name=self.kv.name,
             kv_metrics=self.kv.metrics,
+            preemption_name=self.preemption.name,
         )
 
 
@@ -537,12 +560,14 @@ def run_serving(
     model: Union[ModelSpec, str],
     allocator: Union[AllocatorLike, AllocatorFactory] = "gmlake",
     capacity: int = A100_80GB,
-    scheduler: Union[str, Scheduler] = "fcfs",
+    scheduler: SchedulerLike = "fcfs",
     config: Optional[ServingConfig] = None,
     kv_cache: KVCacheLike = "chunked",
+    preemption: PreemptionLike = "recompute",
 ) -> ServingResult:
     """Convenience wrapper: build one replica and serve ``requests``."""
     simulator = ServingSimulator(model, allocator=allocator,
                                  capacity=capacity, scheduler=scheduler,
-                                 config=config, kv_cache=kv_cache)
+                                 config=config, kv_cache=kv_cache,
+                                 preemption=preemption)
     return simulator.run(requests)

@@ -1,0 +1,288 @@
+"""The kind-aware component registry and the generic spec mini-DSL.
+
+Covers the four serving-side component kinds introduced alongside the
+allocator and KV-cache kinds: schedulers, arrival processes,
+preemption policies and autoscalers — registry metadata, spec
+round-trips (property-tested: parse → JSON → parse is lossless for
+arbitrary valid parameter values), parse-time validation, and the
+``repro list-components`` CLI.
+"""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.api import SpecError, UnknownComponentError
+from repro.cli import main as cli_main
+from repro.serve import (
+    ArrivalSpec,
+    AutoscalerSpec,
+    KVCacheSpec,
+    PreemptionSpec,
+    SchedulerSpec,
+)
+
+#: Every spec view the serving stack registers, with one
+#: representative parameterized string each.
+SPEC_VIEWS = {
+    "scheduler": (SchedulerSpec, "memory-aware?margin=1.5"),
+    "arrivals": (ArrivalSpec, "closed-loop?clients=8&think_s=0.5"),
+    "preemption": (PreemptionSpec, "swap?pcie_gb_per_s=12"),
+    "autoscaler": (AutoscalerSpec, "queue-depth?high=6000&low=800"),
+}
+
+
+class TestKindRegistry:
+    def test_all_kinds_present(self):
+        kinds = api.component_kinds()
+        for kind in ("allocator", "kv-cache", "scheduler", "arrivals",
+                     "preemption", "autoscaler"):
+            assert kind in kinds
+
+    def test_expected_names_per_kind(self):
+        assert api.component_names("scheduler") == [
+            "fcfs", "memory-aware", "shortest-prompt"]
+        assert api.component_names("arrivals") == [
+            "closed-loop", "mmpp", "poisson", "replay"]
+        assert api.component_names("preemption") == ["recompute", "swap"]
+        assert api.component_names("autoscaler") == ["none", "queue-depth"]
+
+    def test_aliases_are_metadata_not_entries(self):
+        assert "sjf" not in api.component_registry("scheduler")
+        assert "sjf" in api.get_component_info(
+            "scheduler", "shortest-prompt").aliases
+        assert api.get_component_info("scheduler", "sjf").name \
+            == "shortest-prompt"
+
+    def test_allocator_kind_is_the_original_registry(self):
+        assert api.component_names("allocator") == api.allocator_names()
+        assert api.get_component_info("allocator", "gmlake") \
+            is api.get_allocator_info("gmlake")
+
+    def test_unknown_kind(self):
+        with pytest.raises(SpecError, match="unknown component kind"):
+            api.component_names("quantizer")
+
+    def test_unknown_name_is_keyerror_too(self):
+        with pytest.raises(UnknownComponentError):
+            api.get_component_info("scheduler", "priority-lottery")
+        with pytest.raises(KeyError):
+            api.get_component_info("preemption", "hibernate")
+
+    def test_every_info_has_description(self):
+        for kind in api.component_kinds():
+            for info in api.iter_components(kind):
+                assert info.description, f"{kind}/{info.name}"
+                assert info.kind == kind
+
+
+class TestSpecViews:
+    @pytest.mark.parametrize("kind", sorted(SPEC_VIEWS))
+    def test_parameterized_round_trip(self, kind):
+        spec_cls, text = SPEC_VIEWS[kind]
+        spec = spec_cls.parse(text)
+        assert spec_cls.parse(spec.spec_string()) == spec
+        assert spec_cls.from_dict(spec.to_dict()) == spec
+        assert spec_cls.parse(spec) is spec
+
+    @pytest.mark.parametrize("kind", sorted(SPEC_VIEWS))
+    def test_bare_names_round_trip(self, kind):
+        spec_cls, _ = SPEC_VIEWS[kind]
+        for name in api.component_names(kind):
+            if name == "replay":
+                continue  # replay requires a path (checked below)
+            spec = spec_cls.parse(name)
+            assert spec.spec_string() == name
+            built = spec.build()
+            label = getattr(built, "name", None) or getattr(built, "kind", None)
+            assert label == name
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(SpecError, match="known"):
+            SchedulerSpec.parse("priority-lottery")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SpecError, match="no parameter"):
+            PreemptionSpec.parse("swap?compression=lz4")
+
+    def test_ill_typed_value_rejected(self):
+        with pytest.raises(SpecError, match="bad value"):
+            ArrivalSpec.parse("poisson?rate=fast")
+
+
+# ----------------------------------------------------------------------
+# Property tests: parse -> JSON -> parse is lossless for arbitrary
+# valid parameter values, across all four new kinds.
+# ----------------------------------------------------------------------
+_floats = st.floats(min_value=0.01, max_value=1e6, allow_nan=False,
+                    allow_infinity=False)
+
+
+def _round_trip(spec_cls, name, params):
+    spec = spec_cls(name, params)
+    assert spec_cls.parse(spec.spec_string()) == spec, spec.spec_string()
+    assert spec_cls.from_dict(spec.to_dict()) == spec
+    # The canonical string is stable (idempotent canonicalization).
+    assert spec_cls.parse(spec.spec_string()).spec_string() \
+        == spec.spec_string()
+
+
+class TestSpecRoundTripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(margin=st.floats(min_value=1.0, max_value=16.0,
+                            allow_nan=False))
+    def test_scheduler(self, margin):
+        _round_trip(SchedulerSpec, "memory-aware", {"margin": margin})
+
+    @settings(max_examples=50, deadline=None)
+    @given(rate=_floats)
+    def test_arrivals_poisson(self, rate):
+        _round_trip(ArrivalSpec, "poisson", {"rate_per_s": rate})
+
+    @settings(max_examples=50, deadline=None)
+    @given(clients=st.integers(min_value=1, max_value=512),
+           think=_floats, service=_floats)
+    def test_arrivals_closed_loop(self, clients, think, service):
+        _round_trip(ArrivalSpec, "closed-loop",
+                    {"clients": clients, "think_s": think,
+                     "service_s": service})
+
+    @settings(max_examples=50, deadline=None)
+    @given(bandwidth=_floats)
+    def test_preemption_swap(self, bandwidth):
+        _round_trip(PreemptionSpec, "swap", {"pcie_gb_per_s": bandwidth})
+
+    @settings(max_examples=50, deadline=None)
+    @given(low=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+           delta=st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+           floor=st.integers(min_value=1, max_value=64))
+    def test_autoscaler_queue_depth(self, low, delta, floor):
+        _round_trip(AutoscalerSpec, "queue-depth",
+                    {"high": low + delta, "low": low,
+                     "min_replicas": floor})
+
+    @settings(max_examples=50, deadline=None)
+    @given(tokens=st.integers(min_value=1, max_value=4096))
+    def test_kv_cache(self, tokens):
+        _round_trip(KVCacheSpec, "paged", {"block_tokens": tokens})
+
+
+class TestParseTimeValidation:
+    """Bad configurations fail when the spec is built, not mid-run."""
+
+    @pytest.mark.parametrize("text,match", [
+        ("poisson?rate=0", "positive"),
+        ("poisson?rate=-2", "positive"),
+        ("mmpp?burst=-1", "positive"),
+        ("mmpp?dwell=0", "positive"),
+        ("closed-loop?clients=0", ">= 1"),
+        ("closed-loop?think_s=0", "positive"),
+        ("replay", "path"),
+    ])
+    def test_arrival_specs(self, text, match):
+        with pytest.raises(SpecError, match=match):
+            ArrivalSpec.parse(text)
+
+    @pytest.mark.parametrize("text,match", [
+        ("memory-aware?margin=0.5", ">= 1.0"),
+        ("memory-aware?margin=-1", ">= 1.0"),
+    ])
+    def test_scheduler_specs(self, text, match):
+        with pytest.raises(SpecError, match=match):
+            SchedulerSpec.parse(text)
+
+    def test_swap_bandwidth(self):
+        with pytest.raises(SpecError, match=">= 0"):
+            PreemptionSpec.parse("swap?pcie_gb_per_s=-4")
+        # 0 is the documented "device default" sentinel, not an error.
+        assert PreemptionSpec.parse(
+            "swap?pcie_gb_per_s=0").build().pcie_gb_per_s == 0.0
+
+    @pytest.mark.parametrize("text", [
+        "queue-depth?high=0",
+        "queue-depth?high=100&low=100",
+        "queue-depth?high=100&low=200",
+        "queue-depth?min=0",
+    ])
+    def test_autoscaler_specs(self, text):
+        with pytest.raises(SpecError):
+            AutoscalerSpec.parse(text)
+
+    def test_serving_spec_rejects_bad_rate(self):
+        with pytest.raises(SpecError, match="rate_per_s"):
+            api.ServingSpec(rate_per_s=0.0)
+        with pytest.raises(SpecError, match="rate_per_s"):
+            api.ServingSpec(rate_per_s=-3.0)
+
+    def test_serving_spec_rejects_bad_margin(self):
+        with pytest.raises(SpecError, match="margin"):
+            api.ServingSpec(scheduler="memory-aware?margin=0.25")
+
+    def test_serving_spec_rejects_bad_components(self):
+        with pytest.raises(SpecError):
+            api.ServingSpec(preemption="hibernate")
+        with pytest.raises(SpecError):
+            api.ServingSpec(autoscaler="queue-depth?high=1&low=2")
+        with pytest.raises(SpecError):
+            api.ServingSpec(arrivals="poisson?rate=0")
+
+    def test_serving_spec_rejects_bad_shape(self):
+        with pytest.raises(SpecError, match="n_requests"):
+            api.ServingSpec(n_requests=0)
+        with pytest.raises(SpecError, match="max_batch"):
+            api.ServingSpec(max_batch=0)
+        with pytest.raises(SpecError, match="queue_timeout_s"):
+            api.ServingSpec(queue_timeout_s=-1.0)
+        with pytest.raises(SpecError, match="replicas"):
+            api.ServingSpec(replicas=0)
+
+    def test_serving_spec_rejects_autoscaler_without_fleet(self):
+        """An autoscaler on a single replica would be silently inert —
+        reject it at parse time instead."""
+        with pytest.raises(SpecError, match="replicas"):
+            api.ServingSpec(autoscaler="queue-depth?high=100&low=10",
+                            replicas=1)
+        # With a fleet it parses fine.
+        api.ServingSpec(autoscaler="queue-depth?high=100&low=10",
+                        replicas=2)
+
+    def test_serving_spec_canonicalizes_components(self):
+        spec = api.ServingSpec(scheduler="sjf",
+                               arrivals="poisson?rate=4",
+                               preemption="swap")
+        assert spec.scheduler == "shortest-prompt"
+        assert spec.arrivals == "poisson?rate_per_s=4.0"
+        assert spec.preemption == "swap"
+
+
+class TestListComponentsCli:
+    def _run(self, *argv):
+        out = io.StringIO()
+        with redirect_stdout(out):
+            code = cli_main(list(argv))
+        return code, out.getvalue()
+
+    def test_lists_every_kind_with_params(self):
+        code, text = self._run("list-components")
+        assert code == 0
+        for kind in ("allocator", "kv-cache", "scheduler", "arrivals",
+                     "preemption", "autoscaler"):
+            assert f"component kind {kind!r}" in text
+        # Spot-check one name and one parameter per new kind.
+        for needle in ("memory-aware", "margin", "closed-loop", "clients",
+                       "swap", "pcie_gb_per_s", "queue-depth", "high"):
+            assert needle in text
+
+    def test_kind_filter(self):
+        code, text = self._run("list-components", "--kind", "preemption")
+        assert code == 0
+        assert "component kind 'preemption'" in text
+        assert "component kind 'scheduler'" not in text
+        assert "recompute" in text and "swap" in text
+
+    def test_unknown_kind_fails(self):
+        code, _ = self._run("list-components", "--kind", "quantizer")
+        assert code == 2

@@ -115,6 +115,17 @@ class TestSpecSnippetsRun:
             assert result.peak_reserved_bytes > 0
 
 
+#: Which guide documents each component kind's catalogue.
+KIND_DOC = {
+    "allocator": "allocators.md",
+    "kv-cache": "serving.md",
+    "scheduler": "serving.md",
+    "arrivals": "serving.md",
+    "preemption": "serving.md",
+    "autoscaler": "serving.md",
+}
+
+
 class TestCataloguesAreComplete:
     def test_every_allocator_documented(self):
         text = (DOCS / "allocators.md").read_text(encoding="utf-8")
@@ -133,3 +144,23 @@ class TestCataloguesAreComplete:
             for param in info.params:
                 assert f"`{param.name}`" in text, \
                     f"docs/serving.md misses {name}.{param.name}"
+
+    def test_every_kind_has_a_doc_home(self):
+        """A newly registered component *kind* must pick a guide."""
+        assert set(api.component_kinds()) == set(KIND_DOC)
+
+    @pytest.mark.parametrize("kind", sorted(KIND_DOC))
+    def test_every_component_documented(self, kind):
+        """Each kind's guide names every registered component, its
+        aliases and every tunable parameter."""
+        doc = KIND_DOC[kind]
+        text = (DOCS / doc).read_text(encoding="utf-8")
+        for info in api.iter_components(kind):
+            assert f"`{info.name}`" in text, \
+                f"docs/{doc} misses {kind} {info.name!r}"
+            for alias in info.aliases:
+                assert f"`{alias}`" in text, \
+                    f"docs/{doc} misses {kind} alias {alias!r}"
+            for param in info.params:
+                assert f"`{param.name}`" in text, \
+                    f"docs/{doc} misses {kind} {info.name}.{param.name}"

@@ -114,6 +114,56 @@ class TestReplayArrivals:
             ReplayArrivals([-1.0, 2.0])
 
 
+class TestClosedLoopArrivals:
+    def test_deterministic_and_sorted(self):
+        from repro.serve import ClosedLoopArrivals
+
+        a = ClosedLoopArrivals(clients=8, think_s=0.5).generate(60, seed=5)
+        b = ClosedLoopArrivals(clients=8, think_s=0.5).generate(60, seed=5)
+        times = [r.arrival_s for r in a]
+        assert times == [r.arrival_s for r in b]
+        assert times == sorted(times)
+        assert len(times) == 60
+
+    def test_single_client_is_serial(self):
+        """One client's consecutive requests are at least one service
+        interval apart — the defining closed-loop property."""
+        from repro.serve import ClosedLoopArrivals
+
+        process = ClosedLoopArrivals(clients=1, think_s=1.0, service_s=2.0)
+        times = [r.arrival_s for r in process.generate(20, seed=0)]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) >= process.service_s
+
+    def test_population_bounds_concurrency(self):
+        """At any instant, at most `clients` requests fall inside one
+        service interval (the population is fixed)."""
+        from repro.serve import ClosedLoopArrivals
+
+        process = ClosedLoopArrivals(clients=4, think_s=0.2, service_s=2.0)
+        times = [r.arrival_s for r in process.generate(80, seed=2)]
+        for i, t in enumerate(times):
+            inside = sum(1 for u in times if t <= u < t + process.service_s)
+            assert inside <= process.clients, (i, t)
+
+    def test_more_clients_raise_offered_load(self):
+        from repro.serve import ClosedLoopArrivals
+
+        few = ClosedLoopArrivals(clients=2, think_s=1.0).generate(60, seed=1)
+        many = ClosedLoopArrivals(clients=16, think_s=1.0).generate(60, seed=1)
+        assert many[-1].arrival_s < few[-1].arrival_s
+
+    def test_validation(self):
+        from repro.serve import ClosedLoopArrivals
+
+        with pytest.raises(ValueError):
+            ClosedLoopArrivals(clients=0)
+        with pytest.raises(ValueError):
+            ClosedLoopArrivals(think_s=0.0)
+        with pytest.raises(ValueError):
+            ClosedLoopArrivals(service_s=-1.0)
+
+
 class TestArrivalLog:
     def test_load_skips_comments_and_blanks(self, tmp_path):
         path = tmp_path / "log.txt"

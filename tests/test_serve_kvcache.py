@@ -13,6 +13,7 @@ import pytest
 from repro.api import ExperimentSpec, ServingSpec, SpecError, run
 from repro.serve import (
     KV_CACHE_MODELS,
+    ChunkedKVCache,
     KVCacheSpec,
     PoissonArrivals,
     ServingConfig,
@@ -286,3 +287,26 @@ class TestExperimentSpecIntegration:
         assert len(results) == 1
         assert results[0].extras()["kv_cache"] == "paged"
         assert results[0].extras()["completed"] == 10
+
+
+class TestLiveCatalogue:
+    def test_kv_cache_models_is_the_live_registry(self):
+        """Direct insertion into KV_CACHE_MODELS (the pre-registry
+        extension idiom) stays visible to the spec/lookup path."""
+        from repro.api.registry import ComponentInfo, Param
+        from repro.serve.kvcache import KV_CACHE_MODELS, get_kv_cache_info
+
+        info = ComponentInfo(
+            name="radix-test", cls=ChunkedKVCache, kind="kv-cache",
+            params=(Param("chunk_tokens", int, 256),),
+            description="live-catalogue test entry",
+        )
+        KV_CACHE_MODELS["radix-test"] = info
+        try:
+            assert get_kv_cache_info("radix-test") is info
+            spec = KVCacheSpec.parse("radix-test?chunk_tokens=64")
+            assert spec.params == {"chunk_tokens": 64}
+        finally:
+            del KV_CACHE_MODELS["radix-test"]
+        with pytest.raises(SpecError):
+            get_kv_cache_info("radix-test")

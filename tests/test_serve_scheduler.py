@@ -5,13 +5,14 @@ import pytest
 from repro.api import resolve_allocator
 from repro.gpu.device import GpuDevice
 from repro.serve import (
-    SCHEDULER_FACTORIES,
     FcfsScheduler,
     MemoryAwareScheduler,
+    SchedulerSpec,
     SchedulerView,
     ShortestPromptScheduler,
-    make_scheduler,
     resolve_kv_cache,
+    resolve_scheduler,
+    scheduler_names,
 )
 from repro.serve.request import ServeRequest
 from repro.units import GB
@@ -35,19 +36,30 @@ def view_on(capacity=4 * GB, model="opt-1.3b", kv_cache="chunked"):
     ), allocator
 
 
-class TestFactories:
+class TestResolve:
     def test_known_names(self):
-        for name in SCHEDULER_FACTORIES:
-            assert make_scheduler(name).name in (
+        for name in scheduler_names(include_aliases=True):
+            assert resolve_scheduler(name).name in (
                 "fcfs", "shortest-prompt", "memory-aware")
 
     def test_unknown_rejected(self):
         with pytest.raises(KeyError):
-            make_scheduler("priority-lottery")
+            resolve_scheduler("priority-lottery")
 
     def test_passthrough(self):
         scheduler = FcfsScheduler()
-        assert make_scheduler(scheduler) is scheduler
+        assert resolve_scheduler(scheduler) is scheduler
+
+    def test_spec_carries_params(self):
+        scheduler = resolve_scheduler("memory-aware?margin=1.75")
+        assert isinstance(scheduler, MemoryAwareScheduler)
+        assert scheduler.margin == 1.75
+
+    def test_bad_margin_fails_at_parse_time(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="margin"):
+            SchedulerSpec.parse("memory-aware?margin=0.5")
 
 
 class TestFcfs:

@@ -1,0 +1,66 @@
+"""The pre-registry scheduler entry points survive as deprecation shims.
+
+Mirrors the ``make_allocator`` / ``ALLOCATOR_FACTORIES`` shim coverage
+in ``test_sim_engine.py``: legacy callers keep working (same types,
+same ``KeyError`` on unknown names) while the canonical path is the
+kind-aware component registry.
+"""
+
+import pytest
+
+from repro.serve import (
+    SCHEDULER_FACTORIES,
+    FcfsScheduler,
+    MemoryAwareScheduler,
+    ShortestPromptScheduler,
+    make_scheduler,
+    resolve_scheduler,
+    scheduler_names,
+)
+
+
+class TestSchedulerFactoriesShim:
+    def test_mirrors_registry_with_aliases(self):
+        assert set(SCHEDULER_FACTORIES) == set(
+            scheduler_names(include_aliases=True))
+        assert SCHEDULER_FACTORIES["fcfs"] is FcfsScheduler
+        assert SCHEDULER_FACTORIES["memory-aware"] is MemoryAwareScheduler
+
+    def test_alias_maps_to_canonical_class(self):
+        assert SCHEDULER_FACTORIES["sjf"] is ShortestPromptScheduler
+        assert SCHEDULER_FACTORIES["sjf"] \
+            is SCHEDULER_FACTORIES["shortest-prompt"]
+
+    def test_entries_construct(self):
+        from repro.serve import Scheduler
+
+        for factory in SCHEDULER_FACTORIES.values():
+            assert isinstance(factory(), Scheduler)
+
+
+class TestMakeSchedulerShim:
+    def test_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="make_scheduler"):
+            scheduler = make_scheduler("fcfs")
+        assert isinstance(scheduler, FcfsScheduler)
+
+    def test_alias_resolves(self):
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(make_scheduler("sjf"), ShortestPromptScheduler)
+
+    def test_unknown_still_raises_keyerror(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                make_scheduler("priority-lottery")
+
+    def test_instance_passes_through(self):
+        scheduler = MemoryAwareScheduler(margin=2.0)
+        with pytest.warns(DeprecationWarning):
+            assert make_scheduler(scheduler) is scheduler
+
+    def test_spec_strings_reach_the_registry(self):
+        """The shim rides the same path as the canonical resolver."""
+        with pytest.warns(DeprecationWarning):
+            scheduler = make_scheduler("memory-aware?margin=1.5")
+        assert scheduler.margin == 1.5
+        assert resolve_scheduler("memory-aware?margin=1.5").margin == 1.5
