@@ -62,6 +62,12 @@ class AllocatorObserver:
     hooks they care about; every hook is a no-op by default.  Hooks
     fire *after* the allocator's bookkeeping, so ``allocator.stats()``
     seen from a hook is consistent with the event.
+
+    In-tree subscribers: :class:`repro.sim.timeline.TimelineRecorder`
+    (per-event memory timelines),
+    :class:`repro.analysis.PeakMemoryObserver` (peak breakdowns) and
+    :class:`repro.obs.AllocatorTraceObserver` (allocator events inside
+    a serving lifecycle trace).
     """
 
     def on_alloc(self, allocator: "BaseAllocator", allocation: Allocation) -> None:

@@ -9,6 +9,8 @@
   aggregate statistics.
 - :mod:`repro.analysis.serving` — serving-summary tables for the
   online serving simulator (:mod:`repro.serve`).
+- :mod:`repro.analysis.observability` — gauge time-series tables for
+  :mod:`repro.obs` telemetry.
 """
 
 from repro.analysis.experiments import (
@@ -23,6 +25,7 @@ from repro.analysis.memory_report import (
     fragmentation_headroom,
     report_for,
 )
+from repro.analysis.observability import format_gauges, gauge_rows
 from repro.analysis.serving import (
     format_serving_summary,
     goodput_vs_rate_rows,
@@ -32,6 +35,8 @@ from repro.analysis.summary import SummaryStats, summarize
 from repro.analysis.tables import format_table
 
 __all__ = [
+    "format_gauges",
+    "gauge_rows",
     "format_serving_summary",
     "goodput_vs_rate_rows",
     "serving_summary_rows",

@@ -1,0 +1,56 @@
+"""Render :mod:`repro.obs` telemetry as analysis tables.
+
+Gauge samples (:class:`repro.obs.GaugePoint`) are time-series rows;
+this module turns them into the same plain-text tables the rest of
+:mod:`repro.analysis` produces, downsampling evenly when a run has
+more points than a terminal wants to read (traces are for Perfetto;
+tables are for a quick look).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.obs.gauges import GaugePoint
+from repro.units import GB, MB
+
+__all__ = ["gauge_rows", "format_gauges"]
+
+
+def gauge_rows(points: Iterable[GaugePoint],
+               max_rows: int = 20) -> List[Dict[str, Any]]:
+    """Table rows from gauge samples, evenly downsampled to ``max_rows``.
+
+    Downsampling keeps the first and last sample and picks evenly
+    spaced points in between, so ramps and the steady state both stay
+    visible.  ``max_rows <= 0`` keeps every point.
+    """
+    series = list(points)
+    if max_rows > 0 and len(series) > max_rows:
+        step = (len(series) - 1) / (max_rows - 1)
+        series = [series[round(i * step)] for i in range(max_rows)]
+    rows = []
+    for p in series:
+        rows.append({
+            "t (s)": round(p.t_s, 2),
+            "replica": p.replica,
+            "queue": p.queue_depth,
+            "running": p.running,
+            "active (GB)": round(p.active_bytes / GB, 2),
+            "reserved (GB)": round(p.reserved_bytes / GB, 2),
+            "pool free (MB)": round(p.free_pool_bytes / MB, 1),
+            "KV (GB)": round(p.kv_bytes / GB, 2),
+            "KV util": round(p.kv_utilization, 3),
+            "replicas": p.active_replicas,
+        })
+    return rows
+
+
+def format_gauges(points: Iterable[GaugePoint], title: Optional[str] = None,
+                  max_rows: int = 20) -> str:
+    """A plain-text gauge table (``repro serve --gauges`` output)."""
+    rows = gauge_rows(points, max_rows=max_rows)
+    if not rows:
+        return "(no gauge samples)"
+    return format_table(rows, title=title or "serving gauges")

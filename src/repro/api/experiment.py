@@ -81,7 +81,16 @@ class ServingSpec:
     - ``preemption`` — what an OOM eviction does to the victim's KV
       (``"recompute"``, ``"swap?pcie_gb_per_s=12"``);
     - ``autoscaler`` — the replica-count policy when ``replicas > 1``
-      (``"none"``, ``"queue-depth?high=6000&low=800"``).
+      (``"none"``, ``"queue-depth?high=6000&low=800"``);
+    - ``trace`` — an optional trace-export sink for the request
+      lifecycle (``"chrome?path=trace.json"``, ``"jsonl?path=t.jsonl"``;
+      empty disables tracing).
+
+    Observability knobs (all default-off; a spec without them runs
+    byte-identically to one predating them): ``trace`` as above,
+    ``gauge_every_s > 0`` samples time-series gauges at that simulated
+    stride, and ``streaming=True`` computes report percentiles from
+    constant-memory t-digest sketches (see :mod:`repro.obs`).
     """
 
     model: str = "opt-13b"
@@ -102,9 +111,13 @@ class ServingSpec:
     arrivals: str = ""                # full arrival spec; "" -> legacy fields
     preemption: str = "recompute"
     autoscaler: str = "none"
+    trace: str = ""                   # trace sink spec; "" -> no tracing
+    gauge_every_s: float = 0.0        # gauge stride; 0 -> no gauges
+    streaming: bool = False           # sketch-backed report percentiles
     seed: int = 0
 
     def __post_init__(self):
+        from repro.obs.trace import TraceSpec
         from repro.serve.arrivals import ArrivalSpec
         from repro.serve.autoscale import AutoscalerSpec
         from repro.serve.kvcache import KVCacheSpec
@@ -120,6 +133,12 @@ class ServingSpec:
                                ("autoscaler", AutoscalerSpec)):
             object.__setattr__(
                 self, attr, spec_cls.parse(getattr(self, attr)).spec_string())
+        if self.trace:
+            object.__setattr__(
+                self, "trace", TraceSpec.parse(self.trace).spec_string())
+        if self.gauge_every_s < 0:
+            raise SpecError(
+                f"gauge_every_s must be >= 0, got {self.gauge_every_s}")
         if self.arrivals:
             object.__setattr__(
                 self, "arrivals",
@@ -338,7 +357,16 @@ def _run_cluster(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentRe
     return ExperimentResult.from_cluster(result, label=allocator.label)
 
 
+def _labelled_trace_path(path: str, label: str) -> str:
+    """``trace.json`` → ``trace.<label>.json`` for multi-allocator runs."""
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in label)
+    stem, dot, ext = path.rpartition(".")
+    return f"{stem}.{safe}.{ext}" if dot else f"{path}.{safe}"
+
+
 def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResult:
+    from repro.obs.gauges import GaugeSampler
+    from repro.obs.trace import TraceRecorder, TraceSpec
     from repro.serve.cluster import run_serving_cluster
     from repro.serve.simulator import ServingConfig, run_serving
 
@@ -347,20 +375,35 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
     config = ServingConfig(max_batch=serving.max_batch,
                            queue_timeout_s=serving.queue_timeout_s,
                            record_timeline=spec.record_timeline)
+    recorder = TraceRecorder() if serving.trace else None
+    gauges = (GaugeSampler(serving.gauge_every_s)
+              if serving.gauge_every_s > 0 else None)
     if serving.replicas > 1:
         result = run_serving_cluster(
             stream, serving.model, n_replicas=serving.replicas,
             allocator=allocator, capacity=spec.capacity,
             scheduler=serving.scheduler, config=config,
             kv_cache=serving.kv_cache, preemption=serving.preemption,
-            autoscaler=serving.autoscaler,
+            autoscaler=serving.autoscaler, trace=recorder, gauges=gauges,
         )
-        return ExperimentResult.from_serve_cluster(
-            result, slo=serving.slo(), label=allocator.label)
-    result = run_serving(
-        stream, serving.model, allocator=allocator, capacity=spec.capacity,
-        scheduler=serving.scheduler, config=config,
-        kv_cache=serving.kv_cache, preemption=serving.preemption,
-    )
-    return ExperimentResult.from_serving(
-        result, slo=serving.slo(), label=allocator.label)
+        outcome = ExperimentResult.from_serve_cluster(
+            result, slo=serving.slo(), label=allocator.label,
+            streaming=serving.streaming)
+    else:
+        result = run_serving(
+            stream, serving.model, allocator=allocator,
+            capacity=spec.capacity, scheduler=serving.scheduler,
+            config=config, kv_cache=serving.kv_cache,
+            preemption=serving.preemption, trace=recorder, gauges=gauges,
+        )
+        outcome = ExperimentResult.from_serving(
+            result, slo=serving.slo(), label=allocator.label,
+            streaming=serving.streaming)
+    if recorder is not None:
+        sink = TraceSpec.parse(serving.trace).build()
+        if len(spec.allocators) > 1:
+            # One trace file per allocator, or the sweep's runs would
+            # silently overwrite each other.
+            sink.path = _labelled_trace_path(sink.path, allocator.label)
+        sink.write(recorder)
+    return outcome

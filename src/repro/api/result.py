@@ -179,10 +179,14 @@ class ExperimentResult:
         )
 
     @classmethod
-    def from_serving(cls, result, slo=None, label: str = "") -> "ExperimentResult":
+    def from_serving(cls, result, slo=None, label: str = "",
+                     streaming: bool = False) -> "ExperimentResult":
         """Adapt a single-replica :class:`ServingResult`; the result's
         own :class:`RunResult` surface is extended with the SLO metrics
-        only a report (which needs an :class:`SloConfig`) can compute."""
+        only a report (which needs an :class:`SloConfig`) can compute.
+        ``streaming=True`` computes report percentiles from t-digest
+        sketches instead of materialized sample lists."""
+        report = result.report(slo, streaming=streaming)
         return cls(
             allocator_name=label or result.allocator_name,
             mode="serve",
@@ -191,15 +195,19 @@ class ExperimentResult:
             throughput=result.throughput,
             oom=result.oom,  # serving preempts instead of crashing
             raw=result,
-            _extras={**result.extras(), **_slo_extras(result.report(slo))},
+            _extras={**result.extras(), **_slo_extras(report)},
         )
 
     @classmethod
-    def from_serve_cluster(cls, result, slo=None, label: str = "") -> "ExperimentResult":
+    def from_serve_cluster(cls, result, slo=None, label: str = "",
+                           streaming: bool = False) -> "ExperimentResult":
         """Adapt a multi-replica :class:`ServeClusterResult`.
 
         Memory headlines are worst-replica, SLO metrics fleet-wide.
+        ``streaming=True`` merges per-replica accumulators instead of
+        reporting over the merged request list.
         """
+        report = result.report(slo, streaming=streaming)
         return cls(
             allocator_name=label or result.allocator_name,
             mode="serve-cluster",
@@ -208,7 +216,7 @@ class ExperimentResult:
             throughput=result.throughput,
             oom=result.oom,
             raw=result,
-            _extras={**result.extras(), **_slo_extras(result.report(slo))},
+            _extras={**result.extras(), **_slo_extras(report)},
         )
 
 
@@ -219,6 +227,8 @@ def _slo_extras(report) -> Dict[str, Any]:
         "slo_attainment": report.slo_attainment,
         "p99_ttft_s": report.p99_ttft_s,
         "mean_tpot_s": report.mean_tpot_s,
+        "token_slo_attainment": report.token_slo_attainment,
+        "token_goodput_tok_s": report.token_goodput_tok_s,
     }
 
 

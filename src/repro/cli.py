@@ -14,7 +14,7 @@ models           List the model registry.
 list-allocators  List the allocator registry with tunable parameters.
 list-components  List every registered component kind (allocators,
                  KV caches, schedulers, arrivals, preemption policies,
-                 autoscalers) with tunable parameters.
+                 autoscalers, trace sinks) with tunable parameters.
 
 Anywhere a component is named, the full :class:`repro.api.ComponentSpec`
 mini-DSL works — ``gmlake?chunk_mb=512&stitching=off`` configures GMLake,
@@ -37,6 +37,8 @@ python -m repro serve --model opt-1.3b --allocator caching --capacity 4GB \\
     --kv-cache "paged?block_tokens=16"
 python -m repro serve --model opt-1.3b --allocator gmlake --capacity 6GB \\
     --arrivals "closed-loop?clients=8&think_s=0.5" --preemption swap
+python -m repro serve --model opt-1.3b --allocator caching --capacity 4GB \\
+    --trace /tmp/trace.json --gauges --streaming
 python -m repro list-components --kind preemption
 """
 
@@ -52,6 +54,7 @@ from repro.analysis.experiments import (
     scaleout_sweep,
     strategy_sweep,
 )
+from repro.analysis.observability import format_gauges
 from repro.analysis.serving import format_serving_summary
 from repro.api import (
     AllocatorSpec,
@@ -70,6 +73,7 @@ from repro.api import (
 from repro.api import run as run_experiment
 from repro.errors import AllocatorError
 from repro.gpu.device import GpuDevice
+from repro.obs import GaugeSampler, TraceRecorder, TraceSpec
 from repro.serve import (
     KV_CACHE_MODELS,
     ArrivalSpec,
@@ -329,8 +333,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("serve: --autoscaler needs --gpus >= 2 "
               "(a single replica has nothing to scale)", file=sys.stderr)
         return 2
+    allocator_specs = _parse_spec_list(args.allocator)
+    if args.trace and len(allocator_specs) > 1:
+        print("serve: --trace records one run; pass a single allocator "
+              "spec (or use an ExperimentSpec, which writes one trace "
+              "file per allocator)", file=sys.stderr)
+        return 2
+    recorder = TraceRecorder() if args.trace else None
+    gauges = GaugeSampler(args.gauge_every) if args.gauges else None
     reports = {}
-    for spec in _parse_spec_list(args.allocator):
+    gauge_points = []
+    for spec in allocator_specs:
         # Regenerate per allocator: the simulator mutates the requests.
         stream = arrivals.generate(n_requests, lengths, seed=args.seed)
         if args.gpus > 1:
@@ -338,13 +351,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 stream, args.model, n_replicas=args.gpus, allocator=spec,
                 capacity=args.capacity, scheduler=scheduler_spec,
                 config=config, kv_cache=kv_spec,
-                preemption=preemption_spec, autoscaler=autoscaler_spec)
+                preemption=preemption_spec, autoscaler=autoscaler_spec,
+                trace=recorder, gauges=gauges)
+            if gauges is not None:
+                gauge_points.extend(result.gauge_points)
         else:
             result = run_serving(
                 stream, args.model, allocator=spec, capacity=args.capacity,
                 scheduler=scheduler_spec, config=config, kv_cache=kv_spec,
-                preemption=preemption_spec)
-        reports[spec.label] = result.report(slo)
+                preemption=preemption_spec, trace=recorder, gauges=gauges)
+            if gauges is not None:
+                gauge_points.extend(result.gauges)
+        reports[spec.label] = result.report(slo, streaming=args.streaming)
+        if gauges is not None:
+            # One sampler per allocator run: reset so the next run's
+            # points don't inherit this run's stride phase.
+            gauges = GaugeSampler(args.gauge_every)
 
     title = (f"serve {args.model}: {n_requests} req, {shape}, "
              f"{args.gpus} GPU(s), scheduler={scheduler_spec.label}, "
@@ -352,6 +374,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.gpus > 1 and autoscaler_spec.name != "none":
         title += f", autoscaler={autoscaler_spec.label}"
     print(format_serving_summary(reports, title=title, slo=slo))
+    if gauge_points:
+        print()
+        print(format_gauges(gauge_points,
+                            title=f"gauges (every {args.gauge_every:g}s)"))
+    if recorder is not None:
+        path = TraceSpec.for_path(args.trace).build().write(recorder)
+        print(f"\nwrote {len(recorder.events)} trace events to {path}")
     return 0
 
 
@@ -595,6 +624,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-tpot", type=float, default=0.05,
                    help="time-per-output-token SLO, seconds")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default="",
+                   help="write a request-lifecycle trace here; .jsonl "
+                        "writes compact JSONL, anything else Chrome "
+                        "trace-event JSON (open in Perfetto)")
+    p.add_argument("--gauges", action="store_true",
+                   help="sample time-series gauges (queue depth, memory, "
+                        "KV utilization) and print them as a table")
+    p.add_argument("--gauge-every", type=float, default=1.0,
+                   help="gauge sampling stride, simulated seconds")
+    p.add_argument("--streaming", action="store_true",
+                   help="compute report percentiles from constant-memory "
+                        "t-digest sketches instead of sorted sample lists")
     p.add_argument("--spec", default="",
                    help="run a JSON ExperimentSpec file instead "
                         "(all other flags ignored)")

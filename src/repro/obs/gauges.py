@@ -1,0 +1,143 @@
+"""Time-series gauges: the serving system's vitals, sampled on a clock.
+
+Lifecycle traces answer "what happened to request 17"; gauges answer
+"what did the *system* look like at t=212s" — queue depth, running
+batch size, pool and KV memory, block utilization, active replicas.
+:class:`GaugeSampler` polls a replica's state at a fixed simulated-time
+stride from inside the serving loop (pure reads — sampling never
+advances the clock or changes a decision) and accumulates
+:class:`GaugePoint` rows that ``repro.analysis`` renders directly
+(:func:`repro.analysis.observability.format_gauges`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["GaugePoint", "GaugeSampler"]
+
+
+@dataclass(frozen=True)
+class GaugePoint:
+    """One sample of a replica's serving state.
+
+    Attributes
+    ----------
+    t_s:
+        Simulated seconds since the replica's run started.
+    replica:
+        Which replica this sample describes.
+    queue_depth / running:
+        Requests waiting for admission / currently decoding.
+    active_bytes / reserved_bytes:
+        The allocator's live tensor bytes and pool reservation.
+    free_pool_bytes:
+        Reserved-but-idle pool memory (``reserved - active``) — the
+        fragmentation reservoir the paper's defrag argument is about.
+    device_free_bytes:
+        Unreserved device memory (``capacity - reserved``).
+    kv_bytes:
+        Bytes currently held in live KV tensors.
+    kv_utilization:
+        Used/allocated KV token capacity over the running batch at the
+        sample instant (1.0 when nothing is running).
+    active_replicas:
+        Replicas the front-end considers active (always 1 for a
+        single-replica run; fleet-level changes are recorded by
+        :meth:`GaugeSampler.note_active_replicas`).
+    """
+
+    t_s: float
+    replica: int
+    queue_depth: int
+    running: int
+    active_bytes: int
+    reserved_bytes: int
+    free_pool_bytes: int
+    device_free_bytes: int
+    kv_bytes: int
+    kv_utilization: float
+    active_replicas: int = 1
+
+
+class GaugeSampler:
+    """Samples replica vitals every ``every_s`` simulated seconds.
+
+    One sampler may serve a whole fleet: each replica keeps its own
+    next-due time, and :meth:`series` filters per replica.  The
+    front-end additionally reports autoscaling decisions through
+    :meth:`note_active_replicas` as an (irregular) change-point series.
+    """
+
+    def __init__(self, every_s: float = 1.0):
+        if not every_s > 0:
+            raise ValueError(f"every_s must be positive, got {every_s}")
+        self.every_s = every_s
+        self.points: List[GaugePoint] = []
+        #: (t_s, active) change points from the fleet front-end.
+        self.active_points: List[Tuple[float, int]] = []
+        self._due: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def poll(self, simulator, queue, running) -> None:
+        """Sample ``simulator`` if its replica's stride has elapsed.
+
+        Called once per serving-loop iteration; cheap when not due.
+        The first poll samples immediately (the t≈0 baseline with the
+        weights resident).
+        """
+        now = simulator.session.elapsed_s
+        due = self._due.get(simulator.replica_id)
+        if due is not None and now < due:
+            return
+        self.sample(simulator, queue, running)
+        self._due[simulator.replica_id] = now + self.every_s
+
+    def sample(self, simulator, queue, running) -> GaugePoint:
+        """Record one point from the simulator's current state."""
+        allocator = simulator.allocator
+        active = allocator.active_bytes
+        reserved = allocator.reserved_bytes
+        kv = simulator.kv
+        utilization = kv.utilization_snapshot(running)
+        point = GaugePoint(
+            t_s=simulator.session.elapsed_s,
+            replica=simulator.replica_id,
+            queue_depth=len(queue),
+            running=len(running),
+            active_bytes=active,
+            reserved_bytes=reserved,
+            free_pool_bytes=max(reserved - active, 0),
+            device_free_bytes=max(simulator.capacity - reserved, 0),
+            kv_bytes=kv.live_kv_bytes,
+            kv_utilization=utilization if utilization is not None else 1.0,
+            active_replicas=self._active_at(simulator.session.elapsed_s),
+        )
+        self.points.append(point)
+        return point
+
+    def note_active_replicas(self, t_s: float, active: int) -> None:
+        """Record a front-end autoscaling change point."""
+        if self.active_points and self.active_points[-1][1] == active:
+            return
+        self.active_points.append((t_s, active))
+
+    def _active_at(self, t_s: float) -> int:
+        """Active replica count at ``t_s`` per the change-point series."""
+        current = 1
+        for when, active in self.active_points:
+            if when > t_s:
+                break
+            current = active
+        return current
+
+    # ------------------------------------------------------------------
+    def series(self, replica: Optional[int] = None) -> List[GaugePoint]:
+        """Recorded points, optionally restricted to one replica."""
+        if replica is None:
+            return list(self.points)
+        return [p for p in self.points if p.replica == replica]
+
+    def __len__(self) -> int:
+        return len(self.points)

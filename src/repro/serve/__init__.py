@@ -15,7 +15,15 @@ Every pluggable policy here is a **registered component** addressable
 by the same ``"name?key=value"`` mini-DSL as allocators (see
 ``repro list-components``): KV-cache models (``kv-cache``), admission
 schedulers (``scheduler``), arrival processes (``arrivals``),
-preemption policies (``preemption``) and autoscalers (``autoscaler``).
+preemption policies (``preemption``), autoscalers (``autoscaler``)
+and trace-export sinks (``trace``, from :mod:`repro.obs`).
+
+Observability is opt-in and passive: pass a
+:class:`repro.obs.TraceRecorder` and/or :class:`repro.obs.GaugeSampler`
+to :func:`run_serving` / :func:`run_serving_cluster` for lifecycle
+traces (Chrome trace-event JSON) and time-series gauges, and
+``report(streaming=True)`` for constant-memory t-digest percentiles
+(see :mod:`repro.obs` and ``docs/observability.md``).
 
 Layout
 ------
@@ -34,7 +42,8 @@ Layout
 - :mod:`repro.serve.autoscale`  — replica-count policies for the
   multi-replica front-end (``none`` / ``queue-depth``).
 - :mod:`repro.serve.simulator`  — the single-replica event loop.
-- :mod:`repro.serve.metrics`    — SLO metrics and the serving report.
+- :mod:`repro.serve.metrics`    — SLO metrics and the serving report
+  (exact or streaming via :mod:`repro.obs.sketch`).
 - :mod:`repro.serve.cluster`    — the multi-replica front-end.
 
 Quick start
@@ -83,7 +92,12 @@ from repro.serve.kvcache import (
     kv_cache_names,
     resolve_kv_cache,
 )
-from repro.serve.metrics import ServingReport, SloConfig, percentile
+from repro.serve.metrics import (
+    ServingReport,
+    ServingReportAccumulator,
+    SloConfig,
+    percentile,
+)
 from repro.serve.preemption import (
     PreemptionLike,
     PreemptionPolicy,
@@ -167,6 +181,7 @@ __all__ = [
     "run_serving",
     "SloConfig",
     "ServingReport",
+    "ServingReportAccumulator",
     "percentile",
     "ServeClusterResult",
     "dispatch_requests",

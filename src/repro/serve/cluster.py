@@ -16,13 +16,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.api.result import WorstMemberRunResult
 from repro.api.spec import AllocatorLike
+from repro.obs.gauges import GaugePoint, GaugeSampler
+from repro.obs.trace import FRONTEND_REPLICA, TraceRecorder
 from repro.serve.autoscale import Autoscaler, AutoscalerLike, resolve_autoscaler
 from repro.serve.kvcache import KVCacheLike, KVCacheMetrics, KVCacheModel
-from repro.serve.metrics import ServingReport, SloConfig
+from repro.serve.metrics import ServingReport, ServingReportAccumulator, SloConfig
 from repro.serve.preemption import PreemptionLike, PreemptionPolicy
 from repro.serve.request import ServeRequest
 from repro.serve.scheduler import SchedulerLike
@@ -37,6 +39,8 @@ def dispatch_requests(
     n_replicas: int,
     drain_tokens_per_s: float = 3000.0,
     autoscaler: Optional[Autoscaler] = None,
+    gauges: Optional[GaugeSampler] = None,
+    trace: Optional[TraceRecorder] = None,
 ) -> List[List[ServeRequest]]:
     """Split one arrival stream into per-replica streams.
 
@@ -50,6 +54,11 @@ def dispatch_requests(
     land on active replicas.  ``None`` (or the registered ``"none"``
     policy) keeps every replica active from the first arrival — the
     front-end's original behaviour, bit for bit.
+
+    ``gauges`` / ``trace`` record the active-replica change points the
+    autoscaler produces (as :meth:`GaugeSampler.note_active_replicas`
+    and front-end ``autoscale`` trace events); dispatch decisions are
+    identical with or without them.
     """
     if n_replicas < 1:
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
@@ -57,6 +66,7 @@ def dispatch_requests(
     last_t = 0.0
     active = (autoscaler.initial_replicas(n_replicas)
               if autoscaler is not None else n_replicas)
+    noted = None  # last active count reported to the telemetry hooks
     shards: List[List[ServeRequest]] = [[] for _ in range(n_replicas)]
     for request in sorted(requests, key=lambda r: (r.arrival_s, r.req_id)):
         elapsed = max(0.0, request.arrival_s - last_t)
@@ -73,6 +83,13 @@ def dispatch_requests(
         if autoscaler is not None:
             active = min(max(autoscaler.decide(backlog, active, n_replicas), 1),
                          n_replicas)
+        if active != noted:
+            if gauges is not None:
+                gauges.note_active_replicas(request.arrival_s, active)
+            if trace is not None:
+                trace.record("autoscale", request.arrival_s,
+                             replica=FRONTEND_REPLICA, active=active)
+            noted = active
         target = min(range(active), key=lambda i: (backlog[i], i))
         backlog[target] += float(request.total_tokens)
         shards[target].append(request)
@@ -85,6 +102,9 @@ class ServeClusterResult(WorstMemberRunResult):
 
     replicas: List[ServingResult] = field(default_factory=list)
     autoscaler_name: str = "none"
+    #: Front-end autoscaling change points: (arrival_s, active count).
+    active_replica_points: List[Tuple[float, int]] = field(
+        default_factory=list)
     _merged: Optional[List[ServeRequest]] = field(default=None, init=False,
                                                   repr=False, compare=False)
 
@@ -202,8 +222,37 @@ class ServeClusterResult(WorstMemberRunResult):
                 out["swapped_mb"] = round(merged.swapped_bytes / (1 << 20), 1)
         return out
 
-    def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
-        """Fleet-wide SLO report over the merged request population."""
+    @property
+    def gauge_points(self) -> List[GaugePoint]:
+        """Every replica's gauge samples, merged in time order."""
+        return sorted((point for replica in self.replicas
+                       for point in replica.gauges),
+                      key=lambda p: (p.t_s, p.replica))
+
+    def report(self, slo: Optional[SloConfig] = None,
+               streaming: bool = False) -> ServingReport:
+        """Fleet-wide SLO report over the merged request population.
+
+        ``streaming=True`` folds each replica's requests into a
+        :class:`~repro.serve.metrics.ServingReportAccumulator` and
+        merges the accumulators — constant memory, never touching the
+        merged request list (percentiles come from merged t-digest
+        sketches, within sketch tolerance of the exact path).
+        """
+        if streaming:
+            merged: Optional[ServingReportAccumulator] = None
+            for replica in self.replicas:
+                acc = ServingReportAccumulator(slo)
+                for request in replica.requests:
+                    acc.observe(request)
+                merged = acc if merged is None else merged.merge(acc)
+            if merged is None:
+                merged = ServingReportAccumulator(slo)
+            return merged.report(
+                self.makespan_s,
+                utilization=self.min_utilization,
+                peak_reserved_gb=self.max_peak_reserved_gb,
+            )
         return ServingReport.from_requests(
             self.requests, self.makespan_s, slo,
             utilization=self.min_utilization,
@@ -227,6 +276,8 @@ def run_serving_cluster(
     kv_cache: KVCacheLike = "chunked",
     preemption: PreemptionLike = "recompute",
     autoscaler: AutoscalerLike = "none",
+    trace: Optional[TraceRecorder] = None,
+    gauges: Optional[GaugeSampler] = None,
 ) -> ServeClusterResult:
     """Load-balance ``requests`` over ``n_replicas`` single-GPU replicas.
 
@@ -234,6 +285,12 @@ def run_serving_cluster(
     (see :mod:`repro.serve.autoscale`); ``n_replicas`` is the fleet's
     maximum size.  Every replica still runs (an idle replica just
     serves an empty stream), so memory headlines stay comparable.
+
+    A single ``trace`` recorder and ``gauges`` sampler are shared by
+    the front-end and every replica: trace events carry their replica
+    id (front-end events use :data:`~repro.obs.trace.FRONTEND_REPLICA`)
+    and gauge points are tagged per replica, so one Chrome trace shows
+    the whole fleet as separate processes.
     """
     if isinstance(kv_cache, KVCacheModel):
         raise ValueError(
@@ -252,13 +309,16 @@ def run_serving_cluster(
     scaler = resolve_autoscaler(autoscaler)
     shards = dispatch_requests(requests, n_replicas,
                                drain_tokens_per_s=config.decode_tokens_per_s,
-                               autoscaler=scaler)
+                               autoscaler=scaler, gauges=gauges, trace=trace)
     result = ServeClusterResult(autoscaler_name=scaler.name)
+    if gauges is not None:
+        result.active_replica_points = list(gauges.active_points)
     for replica_id, shard in enumerate(shards):
         simulator = ServingSimulator(
             model, allocator=allocator, capacity=capacity,
             scheduler=scheduler, config=config, replica_id=replica_id,
-            kv_cache=kv_cache, preemption=preemption,
+            kv_cache=kv_cache, preemption=preemption, trace=trace,
+            gauges=gauges,
         )
         result.replicas.append(simulator.run(shard))
     return result

@@ -238,14 +238,26 @@ class KVCacheModel(ABC):
         """Bytes currently held in live KV tensors."""
         return self._live_kv_bytes
 
-    def note_decode_step(self, running: Iterable[ServeRequest]) -> None:
-        """Sample cache-level utilization over the running batch."""
+    def utilization_snapshot(
+            self, running: Iterable[ServeRequest]) -> Optional[float]:
+        """Used/allocated KV token capacity over ``running`` right now.
+
+        ``None`` when no request holds capacity (an empty batch has no
+        meaningful utilization) — callers pick their own sentinel.
+        """
         capacity = used = 0
         for request in running:
             capacity += request.kv_capacity_tokens
             used += min(request.context_tokens, request.kv_capacity_tokens)
-        if capacity > 0:
-            self.metrics.util_sum += used / capacity
+        if capacity == 0:
+            return None
+        return used / capacity
+
+    def note_decode_step(self, running: Iterable[ServeRequest]) -> None:
+        """Sample cache-level utilization over the running batch."""
+        utilization = self.utilization_snapshot(running)
+        if utilization is not None:
+            self.metrics.util_sum += utilization
             self.metrics.util_samples += 1
 
     def _note_preempt(self, request: ServeRequest) -> None:

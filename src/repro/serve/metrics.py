@@ -13,23 +13,53 @@ TPOT      mean seconds per output token after the first (decode pace).
 latency   arrival → last token.
 goodput   completed requests *meeting the SLO* per second of makespan —
           the headline serving metric; throughput counts everything.
+
+Token-level SLOs
+----------------
+Request-level SLO attainment is all-or-nothing; a streaming client's
+experience is per *token*: token ``k`` (1-based) reads well iff it
+arrives by ``arrival + ttft_slo + (k-1) * tpot_slo``.  The simulator
+resolves whole decode batches, so emission times are modeled at the
+request's uniform measured pace — token ``k`` lands at
+``arrival + ttft + (k-1) * tpot`` — which makes per-request on-time
+token counts closed-form (:meth:`SloConfig.tokens_on_time`).  Tokens
+of rejected requests count toward the denominator with zero on time:
+an aborted stream delivered nothing the client could finish reading.
+
+Streaming aggregation
+---------------------
+``from_requests(streaming=True)`` (and
+:class:`ServingReportAccumulator` directly) replaces the
+store-everything percentile lists with mergeable
+:class:`~repro.obs.sketch.QuantileSketch` t-digests: constant memory
+per replica, and fleet-level reports merge sketches instead of
+concatenating sample lists.  The default (non-streaming) path is
+byte-identical to the historical implementation.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
+from repro.obs.sketch import QuantileSketch
 from repro.serve.request import ServeRequest
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolated percentile ``q`` in [0, 100] (0.0 if empty)."""
+def percentile(values: Sequence[float], q: float,
+               presorted: bool = False) -> float:
+    """Linear-interpolated percentile ``q`` in [0, 100] (0.0 if empty).
+
+    ``presorted=True`` skips the sort for callers that already hold
+    ``values`` in ascending order (e.g. a report taking several
+    percentiles of one list — sort once, reuse).
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
     if not values:
         return 0.0
-    ordered = sorted(values)
+    ordered = values if presorted else sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
     rank = (len(ordered) - 1) * q / 100.0
@@ -55,6 +85,52 @@ class SloConfig:
         return (ttft is not None and ttft <= self.ttft_s
                 and (tpot is None or tpot <= self.tpot_s))
 
+    # -- token-level attainment ----------------------------------------
+    def token_deadline_s(self, index: int) -> float:
+        """Deadline of output token ``index`` (1-based), relative to
+        the request's arrival: ``ttft_s + (index - 1) * tpot_s``."""
+        if index < 1:
+            raise ValueError(f"token index must be >= 1, got {index}")
+        return self.ttft_s + (index - 1) * self.tpot_s
+
+    def tokens_on_time(self, request: ServeRequest) -> int:
+        """Output tokens of ``request`` that met their deadlines.
+
+        Emission is modeled at the request's uniform measured pace:
+        token ``k`` (1-based) lands at ``ttft + (k-1) * tpot`` after
+        arrival.  Token ``k`` is on time iff its lateness never
+        outruns the per-token slack::
+
+            ttft + (k-1)*tpot <= ttft_s + (k-1)*tpot_s
+            <=>  (ttft - ttft_s) <= (k-1) * (tpot_s - tpot)
+
+        which partitions the stream at one closed-form index — O(1)
+        per request, no per-token loop.  Unfinished requests earn 0
+        (their stream was aborted mid-flight).
+        """
+        if not request.finished or request.tokens_done <= 0:
+            return 0
+        ttft = request.ttft_s
+        if ttft is None:
+            return 0
+        n = request.tokens_done
+        tpot = request.tpot_s or 0.0
+        lateness = ttft - self.ttft_s       # first token's lateness
+        slack = self.tpot_s - tpot          # slack gained per later token
+        if slack == 0.0:
+            return n if lateness <= 0.0 else 0
+        if slack > 0.0:
+            # Late start, faster-than-SLO decode: tokens catch up from
+            # index ceil(lateness / slack) (0-based j >= lateness/slack).
+            first = math.ceil(lateness / slack)
+            return n - min(max(first, 0), n)
+        # slack < 0: decode slower than SLO — an on-time start decays;
+        # on-time while (k-1) <= lateness / slack (division flips <=).
+        if lateness > 0.0:
+            return 0
+        last = math.floor(lateness / slack)
+        return min(last + 1, n)
+
 
 @dataclass
 class ServingReport:
@@ -79,6 +155,16 @@ class ServingReport:
     tokens_per_s: float
     utilization: float = 0.0
     peak_reserved_gb: float = 0.0
+    # Token-level SLO metrics (see module docstring).  ``output_tokens``
+    # counts every generated token, including rejected requests'
+    # partial streams; ``on_time_tokens`` only finished requests'.
+    output_tokens: int = 0
+    on_time_tokens: int = 0
+    token_slo_attainment: float = 0.0
+    token_goodput_tok_s: float = 0.0
+    # True when percentiles came from a streaming sketch rather than
+    # exact sorted sample lists.
+    streaming: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -89,9 +175,23 @@ class ServingReport:
         slo: Optional[SloConfig] = None,
         utilization: float = 0.0,
         peak_reserved_gb: float = 0.0,
+        streaming: bool = False,
     ) -> "ServingReport":
-        """Aggregate a request population into one report."""
+        """Aggregate a request population into one report.
+
+        ``streaming=True`` routes through
+        :class:`ServingReportAccumulator`: percentiles come from
+        constant-memory t-digest sketches instead of sorted sample
+        lists (within the sketch's rank tolerance of exact; every
+        counter and mean is exact either way).
+        """
         slo = slo if slo is not None else SloConfig()
+        if streaming:
+            acc = ServingReportAccumulator(slo)
+            for request in requests:
+                acc.observe(request)
+            return acc.report(makespan_s, utilization=utilization,
+                              peak_reserved_gb=peak_reserved_gb)
         population: List[ServeRequest] = list(requests)
         done = [r for r in population if r.finished]
         ttfts = [r.ttft_s for r in done if r.ttft_s is not None]
@@ -100,6 +200,14 @@ class ServingReport:
         slo_met = sum(1 for r in done if slo.met_by(r))
         span = max(makespan_s, 1e-9)
         tokens_out = sum(r.tokens_done for r in done)
+        output_tokens = sum(r.tokens_done for r in population)
+        on_time = sum(slo.tokens_on_time(r) for r in done)
+        # Means before sorting: the in-place sort below would reorder
+        # the float sums and drift the historical (golden) values.
+        mean_ttft = sum(ttfts) / len(ttfts) if ttfts else 0.0
+        mean_tpot = sum(tpots) / len(tpots) if tpots else 0.0
+        ttfts.sort()
+        latencies.sort()
         return cls(
             n_requests=len(population),
             completed=len(done),
@@ -108,19 +216,24 @@ class ServingReport:
                           if r.rejected and r.reject_reason == "timeout"),
             preemptions=sum(r.preemptions for r in population),
             makespan_s=makespan_s,
-            mean_ttft_s=sum(ttfts) / len(ttfts) if ttfts else 0.0,
-            p50_ttft_s=percentile(ttfts, 50),
-            p99_ttft_s=percentile(ttfts, 99),
-            mean_tpot_s=sum(tpots) / len(tpots) if tpots else 0.0,
-            p50_latency_s=percentile(latencies, 50),
-            p95_latency_s=percentile(latencies, 95),
-            p99_latency_s=percentile(latencies, 99),
+            mean_ttft_s=mean_ttft,
+            p50_ttft_s=percentile(ttfts, 50, presorted=True),
+            p99_ttft_s=percentile(ttfts, 99, presorted=True),
+            mean_tpot_s=mean_tpot,
+            p50_latency_s=percentile(latencies, 50, presorted=True),
+            p95_latency_s=percentile(latencies, 95, presorted=True),
+            p99_latency_s=percentile(latencies, 99, presorted=True),
             throughput_req_s=len(done) / span,
             goodput_req_s=slo_met / span,
             slo_attainment=slo_met / len(population) if population else 0.0,
             tokens_per_s=tokens_out / span,
             utilization=utilization,
             peak_reserved_gb=peak_reserved_gb,
+            output_tokens=output_tokens,
+            on_time_tokens=on_time,
+            token_slo_attainment=(on_time / output_tokens
+                                  if output_tokens else 0.0),
+            token_goodput_tok_s=on_time / span,
         )
 
     # ------------------------------------------------------------------
@@ -130,6 +243,7 @@ class ServingReport:
             "req": self.n_requests,
             "done": self.completed,
             "rej": self.rejected,
+            "timeout": self.timed_out,
             "preempt": self.preemptions,
             "TTFT p50 (ms)": round(self.p50_ttft_s * 1e3, 1),
             "TPOT (ms)": round(self.mean_tpot_s * 1e3, 2),
@@ -138,6 +252,7 @@ class ServingReport:
             "lat p99 (s)": round(self.p99_latency_s, 3),
             "goodput (req/s)": round(self.goodput_req_s, 3),
             "SLO %": round(self.slo_attainment * 100.0, 1),
+            "tok SLO %": round(self.token_slo_attainment * 100.0, 1),
             "util": round(self.utilization, 3),
             "RM (GB)": round(self.peak_reserved_gb, 2),
         }
@@ -151,4 +266,123 @@ class ServingReport:
             f"p99 lat={self.p99_latency_s:.2f}s "
             f"goodput={self.goodput_req_s:.2f} req/s "
             f"util={self.utilization:.1%}"
+        )
+
+
+class ServingReportAccumulator:
+    """Constant-memory, mergeable aggregation of request lifecycles.
+
+    Feed finished populations through :meth:`observe`, combine
+    replicas with :meth:`merge` (sketches merge, counters add — no raw
+    sample ever crosses the replica boundary), and materialize a
+    :class:`ServingReport` with :meth:`report`.  Counters and means
+    are exact (the same left-to-right float sums the list path
+    computes); percentiles carry the t-digest's rank tolerance.
+    """
+
+    def __init__(self, slo: Optional[SloConfig] = None,
+                 compression: int = 200):
+        self.slo = slo if slo is not None else SloConfig()
+        self.n = 0
+        self.completed = 0
+        self.rejected = 0
+        self.timed_out = 0
+        self.preemptions = 0
+        self.slo_met = 0
+        self.tokens_out = 0
+        self.output_tokens = 0
+        self.on_time_tokens = 0
+        self._ttft_sum = 0.0
+        self._ttft_n = 0
+        self._tpot_sum = 0.0
+        self._tpot_n = 0
+        self.ttft_sketch = QuantileSketch(compression)
+        self.latency_sketch = QuantileSketch(compression)
+
+    # ------------------------------------------------------------------
+    def observe(self, request: ServeRequest) -> None:
+        """Fold one terminal request into the accumulator."""
+        self.n += 1
+        self.preemptions += request.preemptions
+        self.output_tokens += request.tokens_done
+        if request.rejected:
+            self.rejected += 1
+            if request.reject_reason == "timeout":
+                self.timed_out += 1
+        if not request.finished:
+            return
+        self.completed += 1
+        self.tokens_out += request.tokens_done
+        if self.slo.met_by(request):
+            self.slo_met += 1
+        self.on_time_tokens += self.slo.tokens_on_time(request)
+        ttft = request.ttft_s
+        if ttft is not None:
+            self._ttft_sum += ttft
+            self._ttft_n += 1
+            self.ttft_sketch.add(ttft)
+        tpot = request.tpot_s
+        if tpot is not None:
+            self._tpot_sum += tpot
+            self._tpot_n += 1
+        latency = request.latency_s
+        if latency is not None:
+            self.latency_sketch.add(latency)
+
+    def merge(self, other: "ServingReportAccumulator") -> "ServingReportAccumulator":
+        """Fold ``other`` (same SLO) into this accumulator in place."""
+        if other.slo != self.slo:
+            raise ValueError(
+                f"cannot merge accumulators with different SLOs "
+                f"({self.slo} vs {other.slo})")
+        self.n += other.n
+        self.completed += other.completed
+        self.rejected += other.rejected
+        self.timed_out += other.timed_out
+        self.preemptions += other.preemptions
+        self.slo_met += other.slo_met
+        self.tokens_out += other.tokens_out
+        self.output_tokens += other.output_tokens
+        self.on_time_tokens += other.on_time_tokens
+        self._ttft_sum += other._ttft_sum
+        self._ttft_n += other._ttft_n
+        self._tpot_sum += other._tpot_sum
+        self._tpot_n += other._tpot_n
+        self.ttft_sketch.merge(other.ttft_sketch)
+        self.latency_sketch.merge(other.latency_sketch)
+        return self
+
+    # ------------------------------------------------------------------
+    def report(self, makespan_s: float, utilization: float = 0.0,
+               peak_reserved_gb: float = 0.0) -> ServingReport:
+        """Materialize the accumulated state as a report."""
+        span = max(makespan_s, 1e-9)
+        return ServingReport(
+            n_requests=self.n,
+            completed=self.completed,
+            rejected=self.rejected,
+            timed_out=self.timed_out,
+            preemptions=self.preemptions,
+            makespan_s=makespan_s,
+            mean_ttft_s=(self._ttft_sum / self._ttft_n
+                         if self._ttft_n else 0.0),
+            p50_ttft_s=self.ttft_sketch.quantile(50),
+            p99_ttft_s=self.ttft_sketch.quantile(99),
+            mean_tpot_s=(self._tpot_sum / self._tpot_n
+                         if self._tpot_n else 0.0),
+            p50_latency_s=self.latency_sketch.quantile(50),
+            p95_latency_s=self.latency_sketch.quantile(95),
+            p99_latency_s=self.latency_sketch.quantile(99),
+            throughput_req_s=self.completed / span,
+            goodput_req_s=self.slo_met / span,
+            slo_attainment=self.slo_met / self.n if self.n else 0.0,
+            tokens_per_s=self.tokens_out / span,
+            utilization=utilization,
+            peak_reserved_gb=peak_reserved_gb,
+            output_tokens=self.output_tokens,
+            on_time_tokens=self.on_time_tokens,
+            token_slo_attainment=(self.on_time_tokens / self.output_tokens
+                                  if self.output_tokens else 0.0),
+            token_goodput_tok_s=self.on_time_tokens / span,
+            streaming=True,
         )

@@ -37,6 +37,8 @@ from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 from repro.allocators.stats import AllocatorStats
 from repro.api.spec import AllocatorLike, resolve_allocator
 from repro.gpu.device import GpuDevice
+from repro.obs.gauges import GaugePoint, GaugeSampler
+from repro.obs.trace import TraceRecorder
 from repro.serve.kvcache import (
     KVCacheLike,
     KVCacheMetrics,
@@ -130,6 +132,7 @@ class ServingResult:
     kv_cache_name: str = "chunked"
     kv_metrics: Optional[KVCacheMetrics] = None
     preemption_name: str = "recompute"
+    gauges: List[GaugePoint] = field(default_factory=list)
     _tallies: "Optional[tuple]" = field(default=None, init=False,
                                         repr=False, compare=False)
 
@@ -216,12 +219,19 @@ class ServingResult:
                     self.kv_metrics.swapped_bytes / (1 << 20), 1)
         return out
 
-    def report(self, slo: Optional[SloConfig] = None) -> ServingReport:
-        """Aggregate SLO metrics for this replica's request population."""
+    def report(self, slo: Optional[SloConfig] = None,
+               streaming: bool = False) -> ServingReport:
+        """Aggregate SLO metrics for this replica's request population.
+
+        ``streaming=True`` aggregates through constant-memory quantile
+        sketches (see :mod:`repro.obs.sketch`) instead of sorted
+        sample lists.
+        """
         return ServingReport.from_requests(
             self.requests, self.makespan_s, slo,
             utilization=self.utilization,
             peak_reserved_gb=self.peak_reserved_gb,
+            streaming=streaming,
         )
 
 
@@ -238,6 +248,8 @@ class ServingSimulator:
         replica_id: int = 0,
         kv_cache: KVCacheLike = "chunked",
         preemption: PreemptionLike = "recompute",
+        trace: Optional[TraceRecorder] = None,
+        gauges: Optional[GaugeSampler] = None,
     ):
         self.model = get_model(model) if isinstance(model, str) else model
         self.config = config if config is not None else ServingConfig()
@@ -247,6 +259,14 @@ class ServingSimulator:
         self.allocator = resolve_allocator(allocator, self.device)
         self.scheduler = resolve_scheduler(scheduler)
         self.session = ReplaySession(self.allocator)
+        # Telemetry is strictly passive: recording/sampling never
+        # advances the clock or changes a decision, so a traced run is
+        # byte-identical to an untraced one.
+        self.trace = trace
+        self.gauges = gauges
+        if trace is not None:
+            trace.attach_allocator(self.allocator, self.session,
+                                   replica=replica_id)
         self.kv = resolve_kv_cache(
             kv_cache, self.model,
             default_chunk_tokens=self.config.kv_chunk_tokens)
@@ -277,6 +297,9 @@ class ServingSimulator:
         running.remove(request)
         request.state = RequestState.FINISHED
         request.finished_s = self._now()
+        if self.trace is not None:
+            self.trace.request_event("finish", request, request.finished_s,
+                                     tokens=request.tokens_done)
 
     def _reject(self, request: ServeRequest, reason: str) -> None:
         self.kv.release(request)
@@ -284,6 +307,9 @@ class ServingSimulator:
         request.state = RequestState.REJECTED
         request.rejected_s = self._now()
         request.reject_reason = reason
+        if self.trace is not None:
+            self.trace.request_event("reject", request, request.rejected_s,
+                                     reason=reason)
 
     def _preempt(self, request: ServeRequest, running: List[ServeRequest],
                  queue: "Deque[ServeRequest]") -> None:
@@ -300,6 +326,10 @@ class ServingSimulator:
         if request in running:
             running.remove(request)
         request.preemptions += 1
+        if self.trace is not None:
+            self.trace.request_event("preempt", request, self._now(),
+                                     requeue=requeue,
+                                     preemptions=request.preemptions)
         if not requeue:
             self._reject(request, "preempted-out")
             return
@@ -326,6 +356,10 @@ class ServingSimulator:
             return False
         if request.admitted_s is None:
             request.admitted_s = self._now()
+        if self.trace is not None:
+            self.trace.request_event("admit", request, self._now(),
+                                     resumed=request.preemptions > 0,
+                                     context=context)
         # Make the request decode-ready: prefill over the full context
         # for fresh (and recompute-restored) requests, a PCIe swap-in
         # for requests a swap policy parked in host memory.
@@ -335,6 +369,9 @@ class ServingSimulator:
         if request.tokens_done == 0:
             request.tokens_done = 1
             request.first_token_s = self._now()
+            if self.trace is not None:
+                self.trace.request_event("first_token", request,
+                                         request.first_token_s)
             if request.tokens_done >= request.output_tokens:
                 self._finish(request, running)
         return True
@@ -515,9 +552,16 @@ class ServingSimulator:
                 heapq.heappush(
                     timeouts,
                     (request.arrival_s + timeout_s, request.req_id, request))
+                if self.trace is not None:
+                    self.trace.request_event("arrival", request,
+                                             request.arrival_s,
+                                             prompt=request.prompt_tokens,
+                                             output=request.output_tokens)
                 index += 1
             self._expire_timeouts(queue)
             self._run_admissions(queue, running)
+            if self.gauges is not None:
+                self.gauges.poll(self, queue, running)
             if running:
                 self._decode_step(queue, running)
                 continue
@@ -552,6 +596,8 @@ class ServingSimulator:
             kv_cache_name=self.kv.name,
             kv_metrics=self.kv.metrics,
             preemption_name=self.preemption.name,
+            gauges=(self.gauges.series(self.replica_id)
+                    if self.gauges is not None else []),
         )
 
 
@@ -564,10 +610,18 @@ def run_serving(
     config: Optional[ServingConfig] = None,
     kv_cache: KVCacheLike = "chunked",
     preemption: PreemptionLike = "recompute",
+    trace: Optional[TraceRecorder] = None,
+    gauges: Optional[GaugeSampler] = None,
 ) -> ServingResult:
-    """Convenience wrapper: build one replica and serve ``requests``."""
+    """Convenience wrapper: build one replica and serve ``requests``.
+
+    ``trace`` (a :class:`~repro.obs.trace.TraceRecorder`) and
+    ``gauges`` (a :class:`~repro.obs.gauges.GaugeSampler`) opt into
+    lifecycle tracing and time-series sampling; both are passive.
+    """
     simulator = ServingSimulator(model, allocator=allocator,
                                  capacity=capacity, scheduler=scheduler,
                                  config=config, kv_cache=kv_cache,
-                                 preemption=preemption)
+                                 preemption=preemption, trace=trace,
+                                 gauges=gauges)
     return simulator.run(requests)

@@ -61,7 +61,7 @@ def _fenced_blocks(path: Path, language: str):
 class TestDocsTreeExists:
     @pytest.mark.parametrize("name", [
         "architecture.md", "allocators.md", "serving.md", "experiments.md",
-        "performance.md",
+        "performance.md", "observability.md",
     ])
     def test_guide_present(self, name):
         assert (DOCS / name).is_file()
@@ -69,7 +69,7 @@ class TestDocsTreeExists:
     def test_readme_links_every_guide(self):
         readme = (REPO / "README.md").read_text(encoding="utf-8")
         for name in ("architecture.md", "allocators.md", "serving.md",
-                     "experiments.md", "performance.md"):
+                     "experiments.md", "performance.md", "observability.md"):
             assert f"docs/{name}" in readme, f"README must link docs/{name}"
 
 
@@ -123,6 +123,7 @@ KIND_DOC = {
     "arrivals": "serving.md",
     "preemption": "serving.md",
     "autoscaler": "serving.md",
+    "trace": "observability.md",
 }
 
 
