@@ -96,8 +96,14 @@ def defrag_comparison_rows(
             "copy (MB)": round(
                 (kv.grow_copy_bytes + kv.preempt_copy_bytes) / (1 << 20), 1)
             if kv else "-",
-            # PCIe traffic of swap-based preemption; 0 under recompute.
+            # Interconnect traffic of swap-based preemption; 0 under
+            # recompute.
             "swap (MB)": round(kv.swapped_bytes / (1 << 20), 1)
+            if kv else "-",
+            # Cross-replica KV migration of disaggregated serving; 0 on
+            # colocated runs.
+            "migrated (MB)": round(
+                getattr(kv, "migrated_bytes", 0) / (1 << 20), 1)
             if kv else "-",
         })
     return rows

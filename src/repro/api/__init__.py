@@ -38,6 +38,7 @@ deprecation shims over this package.
 
 from repro.api.experiment import (
     MODES,
+    DisaggSpec,
     ExperimentSpec,
     ServingSpec,
     WorkloadSpec,
@@ -91,6 +92,7 @@ __all__ = [
     "AllocatorSpec",
     "ComponentInfo",
     "ComponentSpec",
+    "DisaggSpec",
     "ExperimentResult",
     "ExperimentSpec",
     "MODES",

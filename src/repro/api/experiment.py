@@ -62,6 +62,40 @@ class WorkloadSpec:
 
 
 @dataclass(frozen=True)
+class DisaggSpec:
+    """A disaggregated prefill/decode topology (``serve`` mode).
+
+    Present on a :class:`ServingSpec` as its ``disagg`` block, this
+    routes the run through
+    :func:`repro.serve.disagg.run_serving_disagg`: ``prefill_replicas``
+    prompt-pass replicas, ``decode_replicas`` token-streaming replicas,
+    and an ``interconnect`` component spec pricing each request's KV
+    migration between the fleets (``"pcie?gb_per_s=12"``,
+    ``"nvlink?gb_per_s=300&latency_us=1.5"``).  Validated — and the
+    interconnect canonicalized — at spec-construction time.
+    """
+
+    prefill_replicas: int = 1
+    decode_replicas: int = 1
+    interconnect: str = "pcie"
+
+    def __post_init__(self):
+        from repro.serve.interconnect import InterconnectSpec
+
+        if self.prefill_replicas < 1:
+            raise SpecError(
+                f"prefill_replicas must be >= 1, got "
+                f"{self.prefill_replicas}")
+        if self.decode_replicas < 1:
+            raise SpecError(
+                f"decode_replicas must be >= 1, got "
+                f"{self.decode_replicas}")
+        object.__setattr__(
+            self, "interconnect",
+            InterconnectSpec.parse(self.interconnect).spec_string())
+
+
+@dataclass(frozen=True)
 class ServingSpec:
     """An online serving scenario (used by the ``serve`` mode).
 
@@ -84,7 +118,13 @@ class ServingSpec:
       (``"none"``, ``"queue-depth?high=6000&low=800"``);
     - ``trace`` — an optional trace-export sink for the request
       lifecycle (``"chrome?path=trace.json"``, ``"jsonl?path=t.jsonl"``;
-      empty disables tracing).
+      empty disables tracing);
+    - ``disagg`` — an optional :class:`DisaggSpec` block (also
+      accepted as its dict form in JSON) switching the run to a
+      disaggregated prefill/decode topology; mutually exclusive with
+      ``replicas > 1`` (the fleets are sized by the block's
+      ``prefill_replicas`` / ``decode_replicas``, and ``autoscaler``
+      then scales each fleet independently).
 
     Observability knobs (all default-off; a spec without them runs
     byte-identically to one predating them): ``trace`` as above,
@@ -114,6 +154,7 @@ class ServingSpec:
     trace: str = ""                   # trace sink spec; "" -> no tracing
     gauge_every_s: float = 0.0        # gauge stride; 0 -> no gauges
     streaming: bool = False           # sketch-backed report percentiles
+    disagg: Optional[DisaggSpec] = None  # prefill/decode disaggregation
     seed: int = 0
 
     def __post_init__(self):
@@ -175,7 +216,25 @@ class ServingSpec:
                 f"{self.queue_timeout_s}")
         if self.replicas < 1:
             raise SpecError(f"replicas must be >= 1, got {self.replicas}")
-        if self.autoscaler != "none" and self.replicas < 2:
+        if self.disagg is not None:
+            if isinstance(self.disagg, dict):
+                try:
+                    object.__setattr__(self, "disagg",
+                                       DisaggSpec(**self.disagg))
+                except TypeError as exc:
+                    raise SpecError(f"bad disagg spec: {exc}") from exc
+            elif not isinstance(self.disagg, DisaggSpec):
+                raise SpecError(
+                    f"disagg must be a DisaggSpec (or its dict form), "
+                    f"got {type(self.disagg).__name__}")
+            if self.replicas > 1:
+                raise SpecError(
+                    "disagg and replicas > 1 are mutually exclusive; "
+                    "size the fleets with the disagg block's "
+                    "prefill_replicas / decode_replicas")
+        elif self.autoscaler != "none" and self.replicas < 2:
+            # With disagg, the autoscaler scales each fleet on its own
+            # queue signal, so the replicas >= 2 floor does not apply.
             raise SpecError(
                 f"autoscaler {self.autoscaler!r} needs replicas >= 2 "
                 "(a single replica has nothing to scale)")
@@ -368,6 +427,7 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
     from repro.obs.gauges import GaugeSampler
     from repro.obs.trace import TraceRecorder, TraceSpec
     from repro.serve.cluster import run_serving_cluster
+    from repro.serve.disagg import run_serving_disagg
     from repro.serve.simulator import ServingConfig, run_serving
 
     serving = spec.serving
@@ -378,7 +438,22 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
     recorder = TraceRecorder() if serving.trace else None
     gauges = (GaugeSampler(serving.gauge_every_s)
               if serving.gauge_every_s > 0 else None)
-    if serving.replicas > 1:
+    if serving.disagg is not None:
+        result = run_serving_disagg(
+            stream, serving.model,
+            prefill_replicas=serving.disagg.prefill_replicas,
+            decode_replicas=serving.disagg.decode_replicas,
+            allocator=allocator, capacity=spec.capacity,
+            scheduler=serving.scheduler, config=config,
+            kv_cache=serving.kv_cache, preemption=serving.preemption,
+            autoscaler=serving.autoscaler,
+            interconnect=serving.disagg.interconnect,
+            trace=recorder, gauges=gauges,
+        )
+        outcome = ExperimentResult.from_serve_disagg(
+            result, slo=serving.slo(), label=allocator.label,
+            streaming=serving.streaming)
+    elif serving.replicas > 1:
         result = run_serving_cluster(
             stream, serving.model, n_replicas=serving.replicas,
             allocator=allocator, capacity=spec.capacity,

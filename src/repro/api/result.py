@@ -219,6 +219,33 @@ class ExperimentResult:
             _extras={**result.extras(), **_slo_extras(report)},
         )
 
+    @classmethod
+    def from_serve_disagg(cls, result, slo=None, label: str = "",
+                          streaming: bool = False) -> "ExperimentResult":
+        """Adapt a :class:`~repro.serve.disagg.DisaggServingResult`.
+
+        Memory headlines are worst-replica across both fleets; SLO
+        metrics cover the merged original-request population, extended
+        with the per-phase TTFT attribution (mean prefill-queue and
+        decode-queue wait) only a disaggregated run can report.
+        """
+        report = result.report(slo, streaming=streaming)
+        return cls(
+            allocator_name=label or result.allocator_name,
+            mode="serve-disagg",
+            peak_active_bytes=result.peak_active_bytes,
+            peak_reserved_bytes=result.peak_reserved_bytes,
+            throughput=result.throughput,
+            oom=result.oom,
+            raw=result,
+            _extras={
+                **result.extras(),
+                **_slo_extras(report),
+                "prefill_wait_s": report.prefill_wait_s,
+                "decode_wait_s": report.decode_wait_s,
+            },
+        )
+
 
 def _slo_extras(report) -> Dict[str, Any]:
     """The report-only serving metrics layered over ``result.extras()``."""

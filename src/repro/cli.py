@@ -19,7 +19,8 @@ list-components  List every registered component kind (allocators,
 Anywhere a component is named, the full :class:`repro.api.ComponentSpec`
 mini-DSL works — ``gmlake?chunk_mb=512&stitching=off`` configures GMLake,
 ``memory-aware?margin=1.5`` a scheduler, ``closed-loop?clients=8`` an
-arrival process, ``swap?pcie_gb_per_s=12`` a preemption policy —
+arrival process, ``nvlink?gb_per_s=300`` an interconnect,
+``swap?interconnect=pcie?gb_per_s=12`` a preemption policy —
 without any Python-side factory code.
 
 Examples
@@ -39,6 +40,9 @@ python -m repro serve --model opt-1.3b --allocator gmlake --capacity 6GB \\
     --arrivals "closed-loop?clients=8&think_s=0.5" --preemption swap
 python -m repro serve --model opt-1.3b --allocator caching --capacity 4GB \\
     --trace /tmp/trace.json --gauges --streaming
+python -m repro serve --model opt-1.3b --allocator gmlake --capacity 6GB \\
+    --disagg --prefill-replicas 2 --decode-replicas 2 \\
+    --interconnect "nvlink?gb_per_s=300"
 python -m repro list-components --kind preemption
 """
 
@@ -78,6 +82,7 @@ from repro.serve import (
     KV_CACHE_MODELS,
     ArrivalSpec,
     AutoscalerSpec,
+    InterconnectSpec,
     KVCacheSpec,
     LengthSampler,
     MMPPArrivals,
@@ -87,10 +92,12 @@ from repro.serve import (
     SchedulerSpec,
     ServingConfig,
     SloConfig,
+    interconnect_names,
     kv_cache_names,
     load_arrival_log,
     run_serving,
     run_serving_cluster,
+    run_serving_disagg,
     scheduler_names,
 )
 from repro.sim.engine import run_trace, run_workload
@@ -329,7 +336,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     scheduler_spec = SchedulerSpec.parse(args.scheduler)
     preemption_spec = PreemptionSpec.parse(args.preemption)
     autoscaler_spec = AutoscalerSpec.parse(args.autoscaler)
-    if autoscaler_spec.name != "none" and args.gpus < 2:
+    interconnect_spec = InterconnectSpec.parse(args.interconnect)
+    if args.disagg and args.gpus > 1:
+        print("serve: --disagg sizes its fleets with --prefill-replicas/"
+              "--decode-replicas; drop --gpus", file=sys.stderr)
+        return 2
+    if args.disagg and (args.prefill_replicas < 1
+                        or args.decode_replicas < 1):
+        print("serve: --prefill-replicas and --decode-replicas must be "
+              ">= 1", file=sys.stderr)
+        return 2
+    if (autoscaler_spec.name != "none" and args.gpus < 2
+            and not args.disagg):
         print("serve: --autoscaler needs --gpus >= 2 "
               "(a single replica has nothing to scale)", file=sys.stderr)
         return 2
@@ -343,10 +361,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     gauges = GaugeSampler(args.gauge_every) if args.gauges else None
     reports = {}
     gauge_points = []
+    phase_rows = []
     for spec in allocator_specs:
         # Regenerate per allocator: the simulator mutates the requests.
         stream = arrivals.generate(n_requests, lengths, seed=args.seed)
-        if args.gpus > 1:
+        if args.disagg:
+            result = run_serving_disagg(
+                stream, args.model,
+                prefill_replicas=args.prefill_replicas,
+                decode_replicas=args.decode_replicas, allocator=spec,
+                capacity=args.capacity, scheduler=scheduler_spec,
+                config=config, kv_cache=kv_spec,
+                preemption=preemption_spec, autoscaler=autoscaler_spec,
+                interconnect=interconnect_spec, trace=recorder,
+                gauges=gauges)
+            if gauges is not None:
+                gauge_points.extend(result.gauge_points)
+        elif args.gpus > 1:
             result = run_serving_cluster(
                 stream, args.model, n_replicas=args.gpus, allocator=spec,
                 capacity=args.capacity, scheduler=scheduler_spec,
@@ -363,17 +394,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if gauges is not None:
                 gauge_points.extend(result.gauges)
         reports[spec.label] = result.report(slo, streaming=args.streaming)
+        if args.disagg:
+            # Per-phase TTFT attribution: where first-token latency was
+            # actually spent, plus the migration bill between fleets.
+            report = reports[spec.label]
+            phase_rows.append({
+                "allocator": spec.label,
+                "prefill wait (s)": round(report.prefill_wait_s, 4),
+                "decode wait (s)": round(report.decode_wait_s, 4),
+                "migrations": result.migrations,
+                "migrated (MB)": round(result.migrated_bytes / MB, 1),
+            })
         if gauges is not None:
             # One sampler per allocator run: reset so the next run's
             # points don't inherit this run's stride phase.
             gauges = GaugeSampler(args.gauge_every)
 
+    if args.disagg:
+        topology = (f"{args.prefill_replicas}P+{args.decode_replicas}D "
+                    f"over {interconnect_spec.label}")
+    else:
+        topology = f"{args.gpus} GPU(s)"
     title = (f"serve {args.model}: {n_requests} req, {shape}, "
-             f"{args.gpus} GPU(s), scheduler={scheduler_spec.label}, "
+             f"{topology}, scheduler={scheduler_spec.label}, "
              f"kv={kv_spec.label}, preemption={preemption_spec.label}")
-    if args.gpus > 1 and autoscaler_spec.name != "none":
+    if autoscaler_spec.name != "none" and (args.gpus > 1 or args.disagg):
         title += f", autoscaler={autoscaler_spec.label}"
     print(format_serving_summary(reports, title=title, slo=slo))
+    if phase_rows:
+        print()
+        print(format_table(phase_rows,
+                           title="per-phase TTFT attribution "
+                                 "(mean queue wait by fleet)"))
     if gauge_points:
         print()
         print(format_gauges(gauge_points,
@@ -604,13 +656,27 @@ def build_parser() -> argparse.ArgumentParser:
                         f"(names: {kv_cache_names()})")
     p.add_argument("--preemption", default="recompute",
                    help="preemption policy spec: 'recompute' (free + "
-                        "re-prefill) or 'swap' (host offload over PCIe, "
-                        "e.g. 'swap?pcie_gb_per_s=12')")
+                        "re-prefill) or 'swap' (host offload priced by an "
+                        "interconnect component, e.g. "
+                        "'swap?interconnect=pcie?gb_per_s=12')")
     p.add_argument("--autoscaler", default="none",
-                   help="replica autoscaler spec (multi-GPU only): 'none' "
-                        "or 'queue-depth?high=4000&low=500'")
+                   help="replica autoscaler spec (multi-GPU or disagg): "
+                        "'none' or 'queue-depth?high=4000&low=500' "
+                        "(under --disagg each fleet scales independently)")
     p.add_argument("--gpus", type=int, default=1,
                    help="number of serving replicas")
+    p.add_argument("--disagg", action="store_true",
+                   help="disaggregate prefill and decode onto separate "
+                        "fleets with KV migration over --interconnect")
+    p.add_argument("--prefill-replicas", type=int, default=1,
+                   help="prefill fleet size (with --disagg)")
+    p.add_argument("--decode-replicas", type=int, default=1,
+                   help="decode fleet size (with --disagg)")
+    p.add_argument("--interconnect", default="pcie",
+                   help="interconnect spec pricing KV migration, e.g. "
+                        "'pcie?gb_per_s=24' or 'nvlink?gb_per_s=300"
+                        "&latency_us=1.5' "
+                        f"(names: {interconnect_names()})")
     p.add_argument("--capacity", type=parse_size, default=80 * GB,
                    help="device memory per replica, e.g. 80GB")
     p.add_argument("--max-batch", type=int, default=16,

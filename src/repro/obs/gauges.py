@@ -77,6 +77,9 @@ class GaugeSampler:
         self.points: List[GaugePoint] = []
         #: (t_s, active) change points from the fleet front-end.
         self.active_points: List[Tuple[float, int]] = []
+        #: Per-fleet change points (disaggregated serving runs one
+        #: series per phase, e.g. "prefill" / "decode").
+        self.fleet_points: Dict[str, List[Tuple[float, int]]] = {}
         self._due: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
@@ -117,11 +120,19 @@ class GaugeSampler:
         self.points.append(point)
         return point
 
-    def note_active_replicas(self, t_s: float, active: int) -> None:
-        """Record a front-end autoscaling change point."""
-        if self.active_points and self.active_points[-1][1] == active:
+    def note_active_replicas(self, t_s: float, active: int,
+                             fleet: Optional[str] = None) -> None:
+        """Record a front-end autoscaling change point.
+
+        ``fleet`` routes the point to that fleet's own series (and
+        leaves the global one untouched) so a disaggregated front-end
+        can report per-phase fleet sizes independently.
+        """
+        series = (self.active_points if fleet is None
+                  else self.fleet_points.setdefault(fleet, []))
+        if series and series[-1][1] == active:
             return
-        self.active_points.append((t_s, active))
+        series.append((t_s, active))
 
     def _active_at(self, t_s: float) -> int:
         """Active replica count at ``t_s`` per the change-point series."""
@@ -138,6 +149,10 @@ class GaugeSampler:
         if replica is None:
             return list(self.points)
         return [p for p in self.points if p.replica == replica]
+
+    def fleet_series(self, fleet: str) -> List[Tuple[float, int]]:
+        """One fleet's (t_s, active) change points (empty if unknown)."""
+        return list(self.fleet_points.get(fleet, ()))
 
     def __len__(self) -> int:
         return len(self.points)

@@ -2,8 +2,9 @@
 
 :class:`TraceRecorder` is a passive event sink the serving simulator
 (and the cluster front-end) feeds as requests move through their
-lifecycle — ``arrival``, ``admit``, ``first_token``, ``preempt``,
-``finish``, ``reject`` — plus allocator-side events (``oom``,
+lifecycle — ``arrival``, ``admit``, ``first_token``, ``migrate_out``
+/ ``migrate_in`` (disaggregated serving), ``preempt``, ``finish``,
+``reject`` — plus allocator-side events (``oom``,
 ``empty_cache``, sampled ``memory`` counters) captured through the
 existing :class:`~repro.allocators.base.AllocatorObserver` hook, and
 front-end ``autoscale`` decisions.  Recording never advances the
@@ -67,8 +68,12 @@ TRACE_SINKS = register_kind("trace", label="trace sink")
 FRONTEND_REPLICA = -1
 
 #: Request-lifecycle event kinds, in the order a request meets them.
+#: ``migrate_out`` / ``migrate_in`` only occur in disaggregated
+#: prefill/decode serving, when a request's KV leaves its prefill
+#: replica and lands on its decode replica.
 REQUEST_EVENT_KINDS = (
-    "arrival", "admit", "first_token", "preempt", "finish", "reject",
+    "arrival", "admit", "first_token", "migrate_out", "migrate_in",
+    "preempt", "finish", "reject",
 )
 
 #: Allocator / front-end event kinds.
@@ -157,10 +162,14 @@ class TraceRecorder:
     def spans(self) -> List[Dict[str, Any]]:
         """Waiting/computing phases per request, derived from events.
 
-        Each span is ``{"name": "queued"|"running"|"preempted",
-        "replica", "req_id", "start_s", "end_s"}``.  A span still open
-        when the event stream ends (never the case for a completed
-        simulation) is dropped.
+        Each span is ``{"name":
+        "queued"|"running"|"preempted"|"migrating", "replica",
+        "req_id", "start_s", "end_s"}``.  A span still open when the
+        event stream ends (never the case for a completed simulation)
+        is dropped.  ``migrate_out`` / ``migrate_in`` events carry the
+        transfer time in their ``us`` arg, so each yields a completed
+        ``migrating`` span and the lane stays strictly sequential
+        (never nested — :func:`validate_chrome_trace` enforces that).
         """
         spans: List[Dict[str, Any]] = []
 
@@ -186,6 +195,22 @@ class TraceRecorder:
                     if event.args.get("requeue", True):
                         open_name, open_start = "preempted", event.t_s
                     else:
+                        open_name = None
+                elif event.kind in ("migrate_out", "migrate_in"):
+                    duration_s = event.args.get("us", 0.0) / 1e6
+                    previous = open_name
+                    if previous is not None:
+                        close(key, previous, open_start, event.t_s)
+                    close(key, "migrating", event.t_s,
+                          event.t_s + duration_s)
+                    if event.kind == "migrate_in" and previous is not None:
+                        # The import happens inside admission: resume
+                        # the interrupted phase once the bytes land.
+                        open_name = previous
+                        open_start = event.t_s + duration_s
+                    else:
+                        # migrate_out ends the request's life on this
+                        # replica; its finish event closes nothing.
                         open_name = None
                 elif event.kind in ("finish", "reject"):
                     if open_name is not None:
@@ -233,12 +258,16 @@ class TraceRecorder:
                              "reserved": event.args.get("reserved_mb", 0.0)},
                 })
             elif event.kind == "autoscale":
+                fleet = event.args.get("fleet")
                 events.append({
-                    "name": "active replicas", "ph": "C", "ts": ts,
+                    "name": ("active replicas" if fleet is None
+                             else f"active replicas ({fleet})"),
+                    "ph": "C", "ts": ts,
                     "pid": pid, "tid": 0,
                     "args": {"active": event.args.get("active", 0)},
                 })
             elif event.kind in ("oom", "empty_cache", "first_token",
+                                "migrate_out", "migrate_in",
                                 "preempt", "reject"):
                 args = {k: v for k, v in event.args.items()
                         if isinstance(v, (int, float, str, bool))}

@@ -38,13 +38,17 @@ Layout
   the KV model's headroom — free-block counts under paged KV).
 - :mod:`repro.serve.preemption` — what an OOM eviction does to the
   victim's KV: ``recompute`` (free + re-prefill) or ``swap`` (host
-  offload over PCIe).
+  offload over a modeled interconnect).
 - :mod:`repro.serve.autoscale`  — replica-count policies for the
   multi-replica front-end (``none`` / ``queue-depth``).
+- :mod:`repro.serve.interconnect` — modeled links (``pcie`` /
+  ``nvlink``) pricing KV movement for swap offload and migration.
 - :mod:`repro.serve.simulator`  — the single-replica event loop.
 - :mod:`repro.serve.metrics`    — SLO metrics and the serving report
   (exact or streaming via :mod:`repro.obs.sketch`).
 - :mod:`repro.serve.cluster`    — the multi-replica front-end.
+- :mod:`repro.serve.disagg`     — disaggregated prefill/decode fleets
+  with cross-replica KV migration over an interconnect.
 
 Quick start
 -----------
@@ -81,6 +85,16 @@ from repro.serve.cluster import (
     ServeClusterResult,
     dispatch_requests,
     run_serving_cluster,
+)
+from repro.serve.disagg import DisaggServingResult, run_serving_disagg
+from repro.serve.interconnect import (
+    Interconnect,
+    InterconnectLike,
+    InterconnectSpec,
+    NvlinkInterconnect,
+    PcieInterconnect,
+    interconnect_names,
+    resolve_interconnect,
 )
 from repro.serve.kvcache import (
     KV_CACHE_MODELS,
@@ -186,4 +200,13 @@ __all__ = [
     "ServeClusterResult",
     "dispatch_requests",
     "run_serving_cluster",
+    "Interconnect",
+    "InterconnectLike",
+    "InterconnectSpec",
+    "PcieInterconnect",
+    "NvlinkInterconnect",
+    "interconnect_names",
+    "resolve_interconnect",
+    "DisaggServingResult",
+    "run_serving_disagg",
 ]

@@ -41,6 +41,7 @@ def dispatch_requests(
     autoscaler: Optional[Autoscaler] = None,
     gauges: Optional[GaugeSampler] = None,
     trace: Optional[TraceRecorder] = None,
+    fleet: Optional[str] = None,
 ) -> List[List[ServeRequest]]:
     """Split one arrival stream into per-replica streams.
 
@@ -59,6 +60,12 @@ def dispatch_requests(
     autoscaler produces (as :meth:`GaugeSampler.note_active_replicas`
     and front-end ``autoscale`` trace events); dispatch decisions are
     identical with or without them.
+
+    ``fleet`` names the replica pool when a front-end runs several of
+    them (disaggregated serving dispatches a ``"prefill"`` and a
+    ``"decode"`` fleet independently): change points are then tagged
+    with the fleet so per-phase size series stay separable.  ``None``
+    (colocated serving) is byte-identical to the original behaviour.
     """
     if n_replicas < 1:
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
@@ -85,10 +92,16 @@ def dispatch_requests(
                          n_replicas)
         if active != noted:
             if gauges is not None:
-                gauges.note_active_replicas(request.arrival_s, active)
+                gauges.note_active_replicas(request.arrival_s, active,
+                                            fleet=fleet)
             if trace is not None:
-                trace.record("autoscale", request.arrival_s,
-                             replica=FRONTEND_REPLICA, active=active)
+                if fleet is None:
+                    trace.record("autoscale", request.arrival_s,
+                                 replica=FRONTEND_REPLICA, active=active)
+                else:
+                    trace.record("autoscale", request.arrival_s,
+                                 replica=FRONTEND_REPLICA, active=active,
+                                 fleet=fleet)
             noted = active
         target = min(range(active), key=lambda i: (backlog[i], i))
         backlog[target] += float(request.total_tokens)
@@ -197,6 +210,7 @@ class ServeClusterResult(WorstMemberRunResult):
             merged.grow_copy_bytes += metrics.grow_copy_bytes
             merged.preempt_copy_bytes += metrics.preempt_copy_bytes
             merged.swapped_bytes += metrics.swapped_bytes
+            merged.migrated_bytes += metrics.migrated_bytes
             merged.util_sum += metrics.util_sum
             merged.util_samples += metrics.util_samples
         return merged
@@ -220,6 +234,9 @@ class ServeClusterResult(WorstMemberRunResult):
             out["kv_internal_frag"] = round(merged.internal_frag_ratio, 3)
             if merged.swapped_bytes:
                 out["swapped_mb"] = round(merged.swapped_bytes / (1 << 20), 1)
+            if merged.migrated_bytes:
+                out["migrated_mb"] = round(
+                    merged.migrated_bytes / (1 << 20), 1)
         return out
 
     @property
@@ -239,6 +256,9 @@ class ServeClusterResult(WorstMemberRunResult):
         merged request list (percentiles come from merged t-digest
         sketches, within sketch tolerance of the exact path).
         """
+        metrics = self.kv_metrics
+        migrated_mb = ((metrics.migrated_bytes / (1 << 20))
+                       if metrics is not None else 0.0)
         if streaming:
             merged: Optional[ServingReportAccumulator] = None
             for replica in self.replicas:
@@ -252,11 +272,13 @@ class ServeClusterResult(WorstMemberRunResult):
                 self.makespan_s,
                 utilization=self.min_utilization,
                 peak_reserved_gb=self.max_peak_reserved_gb,
+                migrated_mb=migrated_mb,
             )
         return ServingReport.from_requests(
             self.requests, self.makespan_s, slo,
             utilization=self.min_utilization,
             peak_reserved_gb=self.max_peak_reserved_gb,
+            migrated_mb=migrated_mb,
         )
 
     def summary(self) -> str:

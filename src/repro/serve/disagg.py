@@ -1,0 +1,500 @@
+"""Disaggregated prefill/decode serving with cross-replica KV migration.
+
+Splitwise/DistServe-style serving splits the fleet by *phase* instead
+of by request: a **prefill fleet** runs every request's prompt pass
+(compute-bound, bursty), then the request's KV cache migrates over a
+modeled :class:`~repro.serve.interconnect.Interconnect` to a **decode
+fleet** replica that streams the output tokens (memory-bound, steady).
+The two phases stop competing for the same batch slots and pool
+memory, at the price of moving every request's KV across the wire —
+exactly the trade this module makes measurable:
+
+* migration time is charged to the simulated clock **on both ends**
+  (the export extends the prefill replica's timeline, the import the
+  decode replica's admission), priced by the configured interconnect;
+* every migrated byte is accounted (twice — once per direction, like
+  ``swapped_bytes``) as ``KVCacheMetrics.migrated_bytes``;
+* each fleet is dispatched and autoscaled independently (the same
+  least-outstanding-work front-end as
+  :func:`~repro.serve.cluster.dispatch_requests`, one autoscaler per
+  fleet), with per-fleet size series in gauges and traces;
+* requests carry per-phase queue-wait attribution
+  (``prefill_wait_s`` / ``decode_wait_s``), so a TTFT regression can
+  be pinned on the fleet that caused it.
+
+Mechanically, each original request is simulated as two clones: a
+one-token prefill clone (which finishes inside admission, emitting the
+first token) and a decode clone that arrives at the decode fleet when
+the prefill clone's KV export completes, with its first token already
+done.  The lifecycle of both clones is merged back onto the original
+request object, which is what :class:`DisaggServingResult` reports
+over.  Replica ids are global: prefill replicas are ``0..P-1``, decode
+replicas ``P..P+D-1``, so one trace shows the whole topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.api.result import WorstMemberRunResult
+from repro.api.spec import AllocatorLike
+from repro.obs.gauges import GaugePoint, GaugeSampler
+from repro.obs.trace import TraceRecorder
+from repro.serve.autoscale import AutoscalerLike, resolve_autoscaler
+from repro.serve.cluster import dispatch_requests
+from repro.serve.interconnect import (
+    Interconnect,
+    InterconnectLike,
+    resolve_interconnect,
+)
+from repro.serve.kvcache import KVCacheLike, KVCacheMetrics, KVCacheModel
+from repro.serve.metrics import (
+    ServingReport,
+    ServingReportAccumulator,
+    SloConfig,
+)
+from repro.serve.preemption import (
+    PreemptionLike,
+    PreemptionPolicy,
+    resolve_preemption,
+)
+from repro.serve.request import RequestState, ServeRequest
+from repro.serve.scheduler import SchedulerLike
+from repro.serve.simulator import (
+    ServingConfig,
+    ServingResult,
+    ServingSimulator,
+)
+from repro.sim.engine import AllocatorFactory
+from repro.units import A100_80GB
+from repro.workloads.models import ModelSpec, get_model
+
+__all__ = ["DisaggServingResult", "run_serving_disagg"]
+
+
+class _PrefillSimulator(ServingSimulator):
+    """A prefill-fleet replica: one-token clones, KV exported at finish.
+
+    A prefill clone (``output_tokens == 1``) completes entirely inside
+    admission — it is never decoded and never preempted — so the only
+    hook this subclass needs is the finish transition, where the KV it
+    just built leaves for the decode fleet instead of simply being
+    freed.
+    """
+
+    def __init__(self, *args, interconnect: Interconnect,
+                 needs_decode: Set[int], exported: Dict[int, int],
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        self._interconnect = interconnect
+        self._needs_decode = needs_decode
+        self._exported = exported
+
+    def _finish(self, request: ServeRequest,
+                running: List[ServeRequest]) -> None:
+        if request.req_id in self._needs_decode:
+            held = self.kv.held_bytes(request)
+            transfer_us = self._interconnect.transfer_us(
+                held, self.device.latency)
+            if self.trace is not None:
+                self.trace.request_event(
+                    "migrate_out", request, self._now(),
+                    us=transfer_us, bytes=held)
+            # The export reads the device copy, so the clock charge
+            # precedes the release in super()._finish — and the finish
+            # timestamp (the decode clone's arrival) lands after it.
+            self.session.advance(transfer_us)
+            self.kv.metrics.migrated_bytes += held
+            self._exported[request.req_id] = held
+        super()._finish(request, running)
+
+
+class _DecodeImportPolicy(PreemptionPolicy):
+    """Per-replica preemption wrapper that imports migrated KV.
+
+    The decode replica's first admission of a request must land its
+    migrated KV bytes instead of running a prefill — which is exactly
+    the :meth:`restore_us` hook.  Every other decision (victim choice,
+    eviction cost, re-admission after a *local* preemption) delegates
+    to a fresh instance of the user's configured policy, so decode
+    replicas preempt exactly like colocated ones once the KV is home.
+    """
+
+    def __init__(self, inner: PreemptionPolicy,
+                 interconnect: Interconnect, imports: Dict[int, int]):
+        super().__init__()
+        self.inner = inner
+        self.name = inner.name
+        self._interconnect = interconnect
+        self._imports = imports
+
+    def bind(self, simulator) -> None:
+        super().bind(simulator)
+        self.inner.bind(simulator)
+
+    def select_victim(self, running: List[ServeRequest],
+                      request: ServeRequest) -> Optional[ServeRequest]:
+        return self.inner.select_victim(running, request)
+
+    def evict(self, request: ServeRequest, requeue: bool = True) -> None:
+        self.inner.evict(request, requeue=requeue)
+
+    def restore_us(self, request: ServeRequest, context: int) -> float:
+        held = self._imports.pop(request.req_id, None)
+        if held is None:
+            # Already imported once: this is a local re-admission
+            # (post-preemption), the inner policy's business.
+            return self.inner.restore_us(request, context)
+        sim = self._sim
+        transfer_us = self._interconnect.transfer_us(
+            held, sim.device.latency)
+        if sim.trace is not None:
+            sim.trace.request_event(
+                "migrate_in", request, sim.session.elapsed_s,
+                us=transfer_us, bytes=held)
+        sim.kv.metrics.migrated_bytes += held
+        return transfer_us
+
+    def forget(self, request: ServeRequest) -> None:
+        # Rejection before (or between) admissions rolls the parked
+        # bytes back: whatever is still on the wire's far side is
+        # dropped with the request, never leaked into a later run.
+        self._imports.pop(request.req_id, None)
+        self.inner.forget(request)
+
+
+@dataclass
+class DisaggServingResult(WorstMemberRunResult):
+    """Aggregated outcome of one disaggregated prefill/decode run."""
+
+    prefill_results: List[ServingResult] = field(default_factory=list)
+    decode_results: List[ServingResult] = field(default_factory=list)
+    #: The original requests with both phases' lifecycles merged on.
+    requests: List[ServeRequest] = field(default_factory=list)
+    interconnect_name: str = "pcie"
+    autoscaler_name: str = "none"
+    #: Requests whose KV crossed the interconnect.
+    migrations: int = 0
+    #: Exported KV parcels never imported nor rolled back — always 0
+    #: for a completed run (the no-leak invariant tests pin).
+    pending_imports: int = 0
+    #: Per-fleet autoscaling change points: (arrival_s, active count).
+    prefill_fleet_points: List[Tuple[float, int]] = field(
+        default_factory=list)
+    decode_fleet_points: List[Tuple[float, int]] = field(
+        default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> List[ServingResult]:
+        """Every replica's result, prefill fleet first."""
+        return self.prefill_results + self.decode_results
+
+    @property
+    def n_prefill_replicas(self) -> int:
+        return len(self.prefill_results)
+
+    @property
+    def n_decode_replicas(self) -> int:
+        return len(self.decode_results)
+
+    @property
+    def makespan_s(self) -> float:
+        """The run finishes when its slowest replica (either fleet)
+        does."""
+        return max((r.makespan_s for r in self.replicas), default=0.0)
+
+    @property
+    def min_utilization(self) -> float:
+        return min(r.utilization for r in self.replicas)
+
+    @property
+    def max_peak_reserved_gb(self) -> float:
+        return max(r.peak_reserved_gb for r in self.replicas)
+
+    # -- the :class:`repro.api.RunResult` shared surface ---------------
+    def _result_members(self) -> List[ServingResult]:
+        return self.replicas
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.requests if r.finished)
+
+    @property
+    def rejected(self) -> int:
+        return sum(1 for r in self.requests if r.rejected)
+
+    @property
+    def preemptions(self) -> int:
+        return sum(r.preemptions for r in self.requests)
+
+    @property
+    def throughput(self) -> float:
+        """Completed original requests per second of makespan."""
+        return self.completed / max(self.makespan_s, 1e-9)
+
+    @property
+    def oom(self) -> bool:
+        return False
+
+    @property
+    def kv_cache_name(self) -> str:
+        return (self.replicas[0].kv_cache_name if self.replicas
+                else "chunked")
+
+    @property
+    def preemption_name(self) -> str:
+        """The decode fleet's (inner) preemption policy name."""
+        return (self.decode_results[0].preemption_name
+                if self.decode_results else "recompute")
+
+    @property
+    def kv_metrics(self) -> Optional[KVCacheMetrics]:
+        """KV metrics merged across both fleets (cluster semantics:
+        counters sum, peaks sum per-replica peaks)."""
+        merged: Optional[KVCacheMetrics] = None
+        for replica in self.replicas:
+            metrics = replica.kv_metrics
+            if metrics is None:
+                continue
+            if merged is None:
+                merged = KVCacheMetrics(kv_cache=metrics.kv_cache,
+                                        block_tokens=metrics.block_tokens)
+            merged.kv_allocs += metrics.kv_allocs
+            merged.kv_frees += metrics.kv_frees
+            merged.peak_kv_bytes += metrics.peak_kv_bytes
+            merged.peak_blocks += metrics.peak_blocks
+            merged.grow_copy_bytes += metrics.grow_copy_bytes
+            merged.preempt_copy_bytes += metrics.preempt_copy_bytes
+            merged.swapped_bytes += metrics.swapped_bytes
+            merged.migrated_bytes += metrics.migrated_bytes
+            merged.util_sum += metrics.util_sum
+            merged.util_samples += metrics.util_samples
+        return merged
+
+    @property
+    def migrated_bytes(self) -> int:
+        """KV bytes moved over the interconnect (both directions)."""
+        metrics = self.kv_metrics
+        return metrics.migrated_bytes if metrics is not None else 0
+
+    def extras(self) -> Dict[str, object]:
+        """Disagg-specific metrics beyond the shared surface."""
+        out: Dict[str, object] = {
+            "prefill_replicas": self.n_prefill_replicas,
+            "decode_replicas": self.n_decode_replicas,
+            "interconnect": self.interconnect_name,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "preemptions": self.preemptions,
+            "migrations": self.migrations,
+            "makespan_s": self.makespan_s,
+            "kv_cache": self.kv_cache_name,
+            "preemption": self.preemption_name,
+        }
+        if self.autoscaler_name != "none":
+            out["autoscaler"] = self.autoscaler_name
+        merged = self.kv_metrics
+        if merged is not None:
+            out["kv_internal_frag"] = round(merged.internal_frag_ratio, 3)
+            if merged.swapped_bytes:
+                out["swapped_mb"] = round(merged.swapped_bytes / (1 << 20), 1)
+            if merged.migrated_bytes:
+                out["migrated_mb"] = round(
+                    merged.migrated_bytes / (1 << 20), 1)
+        return out
+
+    @property
+    def gauge_points(self) -> List[GaugePoint]:
+        """Every replica's gauge samples, merged in time order."""
+        return sorted((point for replica in self.replicas
+                       for point in replica.gauges),
+                      key=lambda p: (p.t_s, p.replica))
+
+    def report(self, slo: Optional[SloConfig] = None,
+               streaming: bool = False) -> ServingReport:
+        """SLO report over the merged original-request population.
+
+        TTFT spans both phases (arrival → prefill first token) and the
+        report carries its per-phase queue-wait attribution
+        (``prefill_wait_s`` / ``decode_wait_s``) plus ``migrated_mb``.
+        """
+        metrics = self.kv_metrics
+        migrated_mb = ((metrics.migrated_bytes / (1 << 20))
+                       if metrics is not None else 0.0)
+        if streaming:
+            acc = ServingReportAccumulator(slo)
+            for request in self.requests:
+                acc.observe(request)
+            return acc.report(
+                self.makespan_s,
+                utilization=self.min_utilization,
+                peak_reserved_gb=self.max_peak_reserved_gb,
+                migrated_mb=migrated_mb,
+            )
+        return ServingReport.from_requests(
+            self.requests, self.makespan_s, slo,
+            utilization=self.min_utilization,
+            peak_reserved_gb=self.max_peak_reserved_gb,
+            migrated_mb=migrated_mb,
+        )
+
+    def summary(self) -> str:
+        """One-line topology + SLO report."""
+        report = self.report()
+        return (f"{self.n_prefill_replicas}P+{self.n_decode_replicas}D "
+                f"over {self.interconnect_name}: {report.summary()}")
+
+
+def run_serving_disagg(
+    requests: Iterable[ServeRequest],
+    model: Union[ModelSpec, str],
+    prefill_replicas: int = 1,
+    decode_replicas: int = 1,
+    allocator: Union[AllocatorLike, AllocatorFactory] = "gmlake",
+    capacity: int = A100_80GB,
+    scheduler: SchedulerLike = "fcfs",
+    config: Optional[ServingConfig] = None,
+    kv_cache: KVCacheLike = "chunked",
+    preemption: PreemptionLike = "recompute",
+    autoscaler: AutoscalerLike = "none",
+    interconnect: InterconnectLike = "pcie",
+    trace: Optional[TraceRecorder] = None,
+    gauges: Optional[GaugeSampler] = None,
+) -> DisaggServingResult:
+    """Serve ``requests`` on a disaggregated prefill/decode topology.
+
+    Each request's prompt pass runs on one of ``prefill_replicas``
+    prefill replicas; its KV then migrates over ``interconnect`` (an
+    :class:`~repro.serve.interconnect.Interconnect` spec, e.g.
+    ``"nvlink?gb_per_s=300"``) to one of ``decode_replicas`` decode
+    replicas, which streams the remaining tokens.  ``autoscaler`` is
+    instantiated *twice* — each fleet scales on its own queue signal.
+
+    A single ``trace`` recorder / ``gauges`` sampler spans the whole
+    topology: prefill replicas are ids ``0..P-1``, decode replicas
+    ``P..P+D-1``, and per-fleet size series are tagged ``"prefill"`` /
+    ``"decode"``.
+    """
+    if prefill_replicas < 1 or decode_replicas < 1:
+        raise ValueError(
+            f"need at least one replica per fleet, got "
+            f"{prefill_replicas} prefill / {decode_replicas} decode")
+    if isinstance(kv_cache, KVCacheModel):
+        raise ValueError(
+            "pass kv_cache as a spec string or KVCacheSpec so each "
+            "replica builds its own model (a shared instance would mix "
+            "block tables across replicas)"
+        )
+    if isinstance(preemption, PreemptionPolicy):
+        raise ValueError(
+            "pass preemption as a spec string or PreemptionSpec so each "
+            "replica builds its own policy (a shared instance would mix "
+            "swap ledgers across replicas)"
+        )
+    model = get_model(model) if isinstance(model, str) else model
+    config = config if config is not None else ServingConfig()
+    link = resolve_interconnect(interconnect)
+
+    originals = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+    by_id = {r.req_id: r for r in originals}
+    needs_decode = {r.req_id for r in originals if r.output_tokens > 1}
+    #: req_id -> KV bytes in flight between the fleets.
+    in_flight: Dict[int, int] = {}
+
+    # ---- phase 1: the prefill fleet ----------------------------------
+    prefill_clones = [
+        ServeRequest(req_id=r.req_id, arrival_s=r.arrival_s,
+                     prompt_tokens=r.prompt_tokens, output_tokens=1)
+        for r in originals
+    ]
+    prefill_scaler = resolve_autoscaler(autoscaler)
+    prefill_shards = dispatch_requests(
+        prefill_clones, prefill_replicas,
+        drain_tokens_per_s=config.prefill_tokens_per_s,
+        autoscaler=prefill_scaler, gauges=gauges, trace=trace,
+        fleet="prefill")
+    result = DisaggServingResult(
+        interconnect_name=link.name,
+        autoscaler_name=prefill_scaler.name,
+    )
+    for replica_id, shard in enumerate(prefill_shards):
+        simulator = _PrefillSimulator(
+            model, allocator=allocator, capacity=capacity,
+            scheduler=scheduler, config=config, replica_id=replica_id,
+            kv_cache=kv_cache, preemption=preemption, trace=trace,
+            gauges=gauges, interconnect=link,
+            needs_decode=needs_decode, exported=in_flight,
+        )
+        result.prefill_results.append(simulator.run(shard))
+    result.migrations = len(in_flight)
+
+    # ---- phase 2: the decode fleet -----------------------------------
+    decode_clones = []
+    for clone in prefill_clones:
+        if not clone.finished or clone.req_id not in needs_decode:
+            continue
+        original = by_id[clone.req_id]
+        decode_clones.append(ServeRequest(
+            req_id=clone.req_id, arrival_s=clone.finished_s,
+            prompt_tokens=original.prompt_tokens,
+            output_tokens=original.output_tokens,
+            tokens_done=1,
+        ))
+    decode_scaler = resolve_autoscaler(autoscaler)
+    decode_shards = dispatch_requests(
+        decode_clones, decode_replicas,
+        drain_tokens_per_s=config.decode_tokens_per_s,
+        autoscaler=decode_scaler, gauges=gauges, trace=trace,
+        fleet="decode")
+    for offset, shard in enumerate(decode_shards):
+        policy = _DecodeImportPolicy(
+            resolve_preemption(preemption), link, in_flight)
+        simulator = ServingSimulator(
+            model, allocator=allocator, capacity=capacity,
+            scheduler=scheduler, config=config,
+            replica_id=prefill_replicas + offset,
+            kv_cache=kv_cache, preemption=policy, trace=trace,
+            gauges=gauges,
+        )
+        result.decode_results.append(simulator.run(shard))
+    result.pending_imports = len(in_flight)
+
+    # ---- merge both phases back onto the originals -------------------
+    prefill_by_id = {c.req_id: c for c in prefill_clones}
+    decode_by_id = {c.req_id: c for c in decode_clones}
+    for original in originals:
+        prefill = prefill_by_id[original.req_id]
+        original.replica = prefill.replica
+        original.preemptions = prefill.preemptions
+        original.admitted_s = prefill.admitted_s
+        original.first_token_s = prefill.first_token_s
+        original.tokens_done = prefill.tokens_done
+        if prefill.admitted_s is not None:
+            original.prefill_wait_s = (prefill.admitted_s
+                                       - prefill.arrival_s)
+        decode = decode_by_id.get(original.req_id)
+        if decode is None:
+            # Rejected at prefill, or a one-token request that never
+            # needed the decode fleet: the prefill clone's terminal
+            # state is the request's.
+            original.state = prefill.state
+            original.finished_s = prefill.finished_s
+            original.rejected_s = prefill.rejected_s
+            original.reject_reason = prefill.reject_reason
+            continue
+        original.replica = decode.replica
+        original.preemptions = prefill.preemptions + decode.preemptions
+        original.tokens_done = decode.tokens_done
+        if decode.admitted_s is not None:
+            original.decode_wait_s = decode.admitted_s - decode.arrival_s
+        original.state = decode.state
+        original.finished_s = decode.finished_s
+        original.rejected_s = decode.rejected_s
+        original.reject_reason = decode.reject_reason
+    result.requests = originals
+    if gauges is not None:
+        result.prefill_fleet_points = gauges.fleet_series("prefill")
+        result.decode_fleet_points = gauges.fleet_series("decode")
+    return result

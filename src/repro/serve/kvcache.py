@@ -92,9 +92,14 @@ class KVCacheMetrics:
         KV bytes discarded at preemption and recomputed on re-admission
         (the copy-on-preempt / recompute cost, both models).
     swapped_bytes:
-        KV bytes moved over PCIe by swap-based preemption (device→host
-        at eviction plus host→device at re-admission; 0 under the
-        default recompute policy).
+        KV bytes moved over the host interconnect by swap-based
+        preemption (device→host at eviction plus host→device at
+        re-admission; 0 under the default recompute policy).
+    migrated_bytes:
+        KV bytes moved between replicas by disaggregated
+        prefill/decode serving (charged on both the exporting and the
+        importing replica — see :mod:`repro.serve.disagg`; 0 for
+        colocated runs).
     util_sum / util_samples:
         Accumulated per-decode-step KV utilization samples
         (used tokens / allocated token capacity over the running batch).
@@ -109,6 +114,7 @@ class KVCacheMetrics:
     grow_copy_bytes: int = 0
     preempt_copy_bytes: int = 0
     swapped_bytes: int = 0
+    migrated_bytes: int = 0
     util_sum: float = 0.0
     util_samples: int = 0
 

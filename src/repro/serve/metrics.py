@@ -162,6 +162,12 @@ class ServingReport:
     on_time_tokens: int = 0
     token_slo_attainment: float = 0.0
     token_goodput_tok_s: float = 0.0
+    # KV bytes moved between replicas by disaggregated serving, and the
+    # per-phase queue-wait attribution of TTFT (mean seconds queued at
+    # the prefill / decode fleet).  All zero for colocated runs.
+    migrated_mb: float = 0.0
+    prefill_wait_s: float = 0.0
+    decode_wait_s: float = 0.0
     # True when percentiles came from a streaming sketch rather than
     # exact sorted sample lists.
     streaming: bool = False
@@ -176,6 +182,7 @@ class ServingReport:
         utilization: float = 0.0,
         peak_reserved_gb: float = 0.0,
         streaming: bool = False,
+        migrated_mb: float = 0.0,
     ) -> "ServingReport":
         """Aggregate a request population into one report.
 
@@ -191,7 +198,8 @@ class ServingReport:
             for request in requests:
                 acc.observe(request)
             return acc.report(makespan_s, utilization=utilization,
-                              peak_reserved_gb=peak_reserved_gb)
+                              peak_reserved_gb=peak_reserved_gb,
+                              migrated_mb=migrated_mb)
         population: List[ServeRequest] = list(requests)
         done = [r for r in population if r.finished]
         ttfts = [r.ttft_s for r in done if r.ttft_s is not None]
@@ -206,6 +214,14 @@ class ServingReport:
         # the float sums and drift the historical (golden) values.
         mean_ttft = sum(ttfts) / len(ttfts) if ttfts else 0.0
         mean_tpot = sum(tpots) / len(tpots) if tpots else 0.0
+        prefill_waits = [r.prefill_wait_s for r in population
+                         if r.prefill_wait_s is not None]
+        decode_waits = [r.decode_wait_s for r in population
+                        if r.decode_wait_s is not None]
+        mean_prefill_wait = (sum(prefill_waits) / len(prefill_waits)
+                             if prefill_waits else 0.0)
+        mean_decode_wait = (sum(decode_waits) / len(decode_waits)
+                            if decode_waits else 0.0)
         ttfts.sort()
         latencies.sort()
         return cls(
@@ -234,6 +250,9 @@ class ServingReport:
             token_slo_attainment=(on_time / output_tokens
                                   if output_tokens else 0.0),
             token_goodput_tok_s=on_time / span,
+            migrated_mb=migrated_mb,
+            prefill_wait_s=mean_prefill_wait,
+            decode_wait_s=mean_decode_wait,
         )
 
     # ------------------------------------------------------------------
@@ -255,6 +274,7 @@ class ServingReport:
             "tok SLO %": round(self.token_slo_attainment * 100.0, 1),
             "util": round(self.utilization, 3),
             "RM (GB)": round(self.peak_reserved_gb, 2),
+            "migrated (MB)": round(self.migrated_mb, 1),
         }
 
     def summary(self) -> str:
@@ -296,6 +316,10 @@ class ServingReportAccumulator:
         self._ttft_n = 0
         self._tpot_sum = 0.0
         self._tpot_n = 0
+        self._prefill_wait_sum = 0.0
+        self._prefill_wait_n = 0
+        self._decode_wait_sum = 0.0
+        self._decode_wait_n = 0
         self.ttft_sketch = QuantileSketch(compression)
         self.latency_sketch = QuantileSketch(compression)
 
@@ -305,6 +329,12 @@ class ServingReportAccumulator:
         self.n += 1
         self.preemptions += request.preemptions
         self.output_tokens += request.tokens_done
+        if request.prefill_wait_s is not None:
+            self._prefill_wait_sum += request.prefill_wait_s
+            self._prefill_wait_n += 1
+        if request.decode_wait_s is not None:
+            self._decode_wait_sum += request.decode_wait_s
+            self._decode_wait_n += 1
         if request.rejected:
             self.rejected += 1
             if request.reject_reason == "timeout":
@@ -348,13 +378,18 @@ class ServingReportAccumulator:
         self._ttft_n += other._ttft_n
         self._tpot_sum += other._tpot_sum
         self._tpot_n += other._tpot_n
+        self._prefill_wait_sum += other._prefill_wait_sum
+        self._prefill_wait_n += other._prefill_wait_n
+        self._decode_wait_sum += other._decode_wait_sum
+        self._decode_wait_n += other._decode_wait_n
         self.ttft_sketch.merge(other.ttft_sketch)
         self.latency_sketch.merge(other.latency_sketch)
         return self
 
     # ------------------------------------------------------------------
     def report(self, makespan_s: float, utilization: float = 0.0,
-               peak_reserved_gb: float = 0.0) -> ServingReport:
+               peak_reserved_gb: float = 0.0,
+               migrated_mb: float = 0.0) -> ServingReport:
         """Materialize the accumulated state as a report."""
         span = max(makespan_s, 1e-9)
         return ServingReport(
@@ -384,5 +419,10 @@ class ServingReportAccumulator:
             token_slo_attainment=(self.on_time_tokens / self.output_tokens
                                   if self.output_tokens else 0.0),
             token_goodput_tok_s=self.on_time_tokens / span,
+            migrated_mb=migrated_mb,
+            prefill_wait_s=(self._prefill_wait_sum / self._prefill_wait_n
+                            if self._prefill_wait_n else 0.0),
+            decode_wait_s=(self._decode_wait_sum / self._decode_wait_n
+                           if self._decode_wait_n else 0.0),
             streaming=True,
         )

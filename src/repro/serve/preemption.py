@@ -15,14 +15,19 @@ by the same ``"name?key=value"`` mini-DSL as allocators:
 
 ``swap``
     Host-offload preemption: the victim's KV is copied to host memory
-    over PCIe before the device copy is freed, and copied back (again
-    over PCIe) on re-admission instead of being recomputed.  Both
-    transfers are charged through the device's
-    :class:`~repro.gpu.latency.LatencyModel` (``pcie_transfer``) and
-    accounted as ``swapped_bytes`` in
+    before the device copy is freed, and copied back on re-admission
+    instead of being recomputed.  Both transfers are priced by an
+    :class:`~repro.serve.interconnect.Interconnect` (the ``pcie``
+    link by default, which defers to the device's
+    :class:`~repro.gpu.latency.LatencyModel`) and accounted as
+    ``swapped_bytes`` in
     :class:`~repro.serve.kvcache.KVCacheMetrics`.  Eviction costs
-    PCIe time up front, but restoration is bandwidth-bound instead of
-    compute-bound — the classic trade serving stacks tune.
+    link time up front, but restoration is bandwidth-bound instead of
+    compute-bound — the classic trade serving stacks tune.  The
+    legacy ``pcie_gb_per_s`` / ``pcie_latency_us`` parameters still
+    work behind a :class:`DeprecationWarning` shim; new configs name
+    the link via ``interconnect`` (e.g.
+    ``"swap?interconnect=pcie?gb_per_s=12"``).
 
 The *victim selection* (youngest other running request loses its slot
 first) and the queue bookkeeping (requeue, ``max_preemptions``,
@@ -32,6 +37,7 @@ KV bytes and the restore cost.
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC
 from dataclasses import dataclass
 from typing import Any, ClassVar, Dict, List, Optional, Union
@@ -44,6 +50,12 @@ from repro.api.registry import (
     register_kind,
 )
 from repro.api.spec import ComponentSpec
+from repro.serve.interconnect import (
+    InterconnectLike,
+    InterconnectSpec,
+    PcieInterconnect,
+    resolve_interconnect,
+)
 from repro.serve.request import ServeRequest
 
 register_kind("preemption", label="preemption policy")
@@ -141,45 +153,99 @@ def _check_swap(params: Dict[str, Any]) -> None:
         raise SpecError(
             f"swap preemption pcie_gb_per_s must be >= 0 "
             f"(0 = device default), got {bandwidth}")
+    setup = params.get("pcie_latency_us")
+    if setup is not None and setup < 0:
+        raise SpecError(
+            f"swap preemption pcie_latency_us must be >= 0 "
+            f"(0 = device default), got {setup}")
+    link = params.get("interconnect")
+    if link is not None:
+        try:
+            InterconnectSpec.parse(link)
+        except SpecError as exc:
+            raise SpecError(
+                f"swap preemption interconnect: {exc}") from None
 
 
 @register_component(
     "preemption", "swap",
     params=(
+        Param("interconnect", str, "pcie", kind="str",
+              doc="interconnect spec pricing the host offload "
+                  "(an 'interconnect' component, e.g. "
+                  "'pcie?gb_per_s=12')"),
         Param("pcie_gb_per_s", float, 0.0, kind="float",
               aliases=("gb_per_s",),
-              doc="host<->device bandwidth override, GB/s "
-                  "(0 = the device latency model's default)"),
+              doc="deprecated: host<->device bandwidth override, GB/s "
+                  "(0 = the device latency model's default); use "
+                  "interconnect=pcie?gb_per_s=... instead"),
+        Param("pcie_latency_us", float, 0.0, kind="float",
+              doc="deprecated: per-transfer setup latency override, us "
+                  "(0 = the device latency model's default); use "
+                  "interconnect=pcie?latency_us=... instead"),
     ),
     check=_check_swap,
-    description="offload the victim's KV to host memory over PCIe and "
-                "swap it back on re-admission",
+    description="offload the victim's KV to host memory over the "
+                "configured interconnect (PCIe by default) and swap it "
+                "back on re-admission",
 )
 class SwapPreemption(PreemptionPolicy):
-    """Host-offload (swap) preemption with PCIe transfer costs.
+    """Host-offload (swap) preemption with interconnect transfer costs.
 
-    Eviction copies the victim's live KV bytes to host memory (PCIe
-    device→host, charged to the simulated clock through the device's
-    latency model) before freeing the device copy; re-admission
+    Eviction copies the victim's live KV bytes to host memory
+    (device→host over the configured
+    :class:`~repro.serve.interconnect.Interconnect`, charged to the
+    simulated clock) before freeing the device copy; re-admission
     allocates fresh device KV and copies the bytes back (host→device)
     instead of recomputing prefill.  Every byte moved in either
     direction lands in ``KVCacheMetrics.swapped_bytes``.
+
+    The default ``pcie`` link with no overrides defers to the device's
+    latency model, so a bare ``swap`` prices exactly as it always has.
+    The legacy ``pcie_gb_per_s`` / ``pcie_latency_us`` parameters are
+    folded into a :class:`~repro.serve.interconnect.PcieInterconnect`
+    behind a :class:`DeprecationWarning`.
     """
 
     name = "swap"
 
-    def __init__(self, pcie_gb_per_s: float = 0.0):
+    def __init__(
+        self,
+        pcie_gb_per_s: float = 0.0,
+        pcie_latency_us: float = 0.0,
+        interconnect: InterconnectLike = "pcie",
+    ):
         super().__init__()
         if pcie_gb_per_s < 0:
             raise ValueError(
                 f"pcie_gb_per_s must be >= 0, got {pcie_gb_per_s}")
+        if pcie_latency_us < 0:
+            raise ValueError(
+                f"pcie_latency_us must be >= 0, got {pcie_latency_us}")
+        link = resolve_interconnect(interconnect)
+        if pcie_gb_per_s or pcie_latency_us:
+            warnings.warn(
+                "SwapPreemption's pcie_gb_per_s/pcie_latency_us are "
+                "deprecated; configure the link through the "
+                "'interconnect' component kind instead (e.g. "
+                "\"swap?interconnect=pcie?gb_per_s=12\")",
+                DeprecationWarning, stacklevel=2)
+            if not isinstance(link, PcieInterconnect) or \
+                    link.gb_per_s or link.latency_us:
+                raise ValueError(
+                    "pass either the deprecated pcie_* parameters or an "
+                    "explicit interconnect, not both")
+            link = PcieInterconnect(
+                gb_per_s=pcie_gb_per_s, latency_us=pcie_latency_us)
+        self.interconnect = link
         self.pcie_gb_per_s = pcie_gb_per_s
+        self.pcie_latency_us = pcie_latency_us
         #: req_id -> KV bytes parked in host memory.
         self._swapped: Dict[int, int] = {}
 
     def _transfer_us(self, size: int) -> float:
-        latency = self._sim.device.latency
-        return latency.pcie_transfer(size, self.pcie_gb_per_s or None)
+        return self.interconnect.transfer_us(
+            size, self._sim.device.latency)
 
     def evict(self, request: ServeRequest, requeue: bool = True) -> None:
         kv = self._sim.kv
@@ -227,7 +293,7 @@ class PreemptionSpec(ComponentSpec):
 
         recompute
         swap
-        swap?pcie_gb_per_s=12
+        swap?interconnect=pcie?gb_per_s=12
     """
 
     kind: ClassVar[str] = "preemption"

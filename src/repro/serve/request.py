@@ -51,6 +51,12 @@ class ServeRequest:
         How many times this request was kicked out of the batch.
     reject_reason:
         ``"timeout"`` or ``"preempted-out"`` or ``"too-large"``.
+    prefill_wait_s / decode_wait_s:
+        Per-phase queue-wait attribution, set only by disaggregated
+        serving (:mod:`repro.serve.disagg`): time spent queued before
+        the prefill replica admitted the request, and time spent
+        queued (KV parked on the wire's far side) before the decode
+        replica did.  ``None`` for colocated runs.
     """
 
     req_id: int
@@ -66,6 +72,8 @@ class ServeRequest:
     reject_reason: Optional[str] = None
     tokens_done: int = 0
     preemptions: int = 0
+    prefill_wait_s: Optional[float] = field(default=None, repr=False)
+    decode_wait_s: Optional[float] = field(default=None, repr=False)
     # KV bookkeeping maintained by the replica's KVCacheModel.
     # kv_capacity_tokens is the token capacity currently provisioned
     # (chunk-rounded for chunked KV, whole blocks for paged KV);

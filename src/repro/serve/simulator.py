@@ -217,6 +217,9 @@ class ServingResult:
             if self.kv_metrics.swapped_bytes:
                 out["swapped_mb"] = round(
                     self.kv_metrics.swapped_bytes / (1 << 20), 1)
+            if self.kv_metrics.migrated_bytes:
+                out["migrated_mb"] = round(
+                    self.kv_metrics.migrated_bytes / (1 << 20), 1)
         return out
 
     def report(self, slo: Optional[SloConfig] = None,
@@ -227,11 +230,14 @@ class ServingResult:
         sketches (see :mod:`repro.obs.sketch`) instead of sorted
         sample lists.
         """
+        migrated = (self.kv_metrics.migrated_bytes
+                    if self.kv_metrics is not None else 0)
         return ServingReport.from_requests(
             self.requests, self.makespan_s, slo,
             utilization=self.utilization,
             peak_reserved_gb=self.peak_reserved_gb,
             streaming=streaming,
+            migrated_mb=migrated / (1 << 20),
         )
 
 

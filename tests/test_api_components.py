@@ -20,6 +20,7 @@ from repro.cli import main as cli_main
 from repro.serve import (
     ArrivalSpec,
     AutoscalerSpec,
+    InterconnectSpec,
     KVCacheSpec,
     PreemptionSpec,
     SchedulerSpec,
@@ -32,6 +33,7 @@ SPEC_VIEWS = {
     "arrivals": (ArrivalSpec, "closed-loop?clients=8&think_s=0.5"),
     "preemption": (PreemptionSpec, "swap?pcie_gb_per_s=12"),
     "autoscaler": (AutoscalerSpec, "queue-depth?high=6000&low=800"),
+    "interconnect": (InterconnectSpec, "nvlink?gb_per_s=300&latency_us=1.5"),
 }
 
 
@@ -39,7 +41,7 @@ class TestKindRegistry:
     def test_all_kinds_present(self):
         kinds = api.component_kinds()
         for kind in ("allocator", "kv-cache", "scheduler", "arrivals",
-                     "preemption", "autoscaler"):
+                     "preemption", "autoscaler", "interconnect"):
             assert kind in kinds
 
     def test_expected_names_per_kind(self):
@@ -49,6 +51,7 @@ class TestKindRegistry:
             "closed-loop", "mmpp", "poisson", "replay"]
         assert api.component_names("preemption") == ["recompute", "swap"]
         assert api.component_names("autoscaler") == ["none", "queue-depth"]
+        assert api.component_names("interconnect") == ["nvlink", "pcie"]
 
     def test_aliases_are_metadata_not_entries(self):
         assert "sjf" not in api.component_registry("scheduler")
@@ -169,6 +172,21 @@ class TestSpecRoundTripProperties:
     def test_kv_cache(self, tokens):
         _round_trip(KVCacheSpec, "paged", {"block_tokens": tokens})
 
+    @settings(max_examples=50, deadline=None)
+    @given(bandwidth=st.floats(min_value=0.0, max_value=1e4,
+                               allow_nan=False),
+           setup=st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    def test_interconnect_pcie(self, bandwidth, setup):
+        _round_trip(InterconnectSpec, "pcie",
+                    {"gb_per_s": bandwidth, "latency_us": setup})
+
+    @settings(max_examples=50, deadline=None)
+    @given(bandwidth=_floats,
+           setup=st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
+    def test_interconnect_nvlink(self, bandwidth, setup):
+        _round_trip(InterconnectSpec, "nvlink",
+                    {"gb_per_s": bandwidth, "latency_us": setup})
+
 
 class TestParseTimeValidation:
     """Bad configurations fail when the spec is built, not mid-run."""
@@ -200,6 +218,28 @@ class TestParseTimeValidation:
         # 0 is the documented "device default" sentinel, not an error.
         assert PreemptionSpec.parse(
             "swap?pcie_gb_per_s=0").build().pcie_gb_per_s == 0.0
+
+    def test_interconnect_specs(self):
+        with pytest.raises(SpecError, match=">= 0"):
+            InterconnectSpec.parse("pcie?gb_per_s=-1")
+        with pytest.raises(SpecError, match=">= 0"):
+            InterconnectSpec.parse("nvlink?latency_us=-2")
+        # nvlink has no device fallback, so the 0 sentinel is an error
+        # there but fine on pcie.
+        with pytest.raises(SpecError, match="> 0"):
+            InterconnectSpec.parse("nvlink?gb_per_s=0")
+        assert InterconnectSpec.parse("pcie?gb_per_s=0").build().gb_per_s \
+            == 0.0
+
+    def test_swap_validates_nested_interconnect(self):
+        """The swap policy's interconnect parameter is itself a spec,
+        validated when the *preemption* spec parses."""
+        spec = PreemptionSpec.parse("swap?interconnect=nvlink?gb_per_s=300")
+        assert spec.params["interconnect"] == "nvlink?gb_per_s=300"
+        with pytest.raises(SpecError):
+            PreemptionSpec.parse("swap?interconnect=hypertransport")
+        with pytest.raises(SpecError):
+            PreemptionSpec.parse("swap?interconnect=nvlink?gb_per_s=0")
 
     @pytest.mark.parametrize("text", [
         "queue-depth?high=0",
@@ -269,11 +309,12 @@ class TestListComponentsCli:
         code, text = self._run("list-components")
         assert code == 0
         for kind in ("allocator", "kv-cache", "scheduler", "arrivals",
-                     "preemption", "autoscaler"):
+                     "preemption", "autoscaler", "interconnect"):
             assert f"component kind {kind!r}" in text
         # Spot-check one name and one parameter per new kind.
         for needle in ("memory-aware", "margin", "closed-loop", "clients",
-                       "swap", "pcie_gb_per_s", "queue-depth", "high"):
+                       "swap", "pcie_gb_per_s", "queue-depth", "high",
+                       "nvlink", "gb_per_s"):
             assert needle in text
 
     def test_kind_filter(self):

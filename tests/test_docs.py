@@ -123,6 +123,7 @@ KIND_DOC = {
     "arrivals": "serving.md",
     "preemption": "serving.md",
     "autoscaler": "serving.md",
+    "interconnect": "serving.md",
     "trace": "observability.md",
 }
 

@@ -52,3 +52,12 @@ class TestExampleSmoke:
         load_example("finetune_llm").main()
         out = capsys.readouterr().out
         assert "Figure 10" in out
+
+    def test_disagg_serving(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv",
+                            ["disagg_serving.py", "opt-1.3b", "6", "30"])
+        load_example("disagg_serving").main()
+        out = capsys.readouterr().out
+        assert "per-phase TTFT attribution" in out
+        assert "1P+1D nvlink" in out
+        assert "migrated (MB)" in out

@@ -40,10 +40,12 @@ def assert_rank_close(values, sketch, q, tol=0.03):
     lo = percentile(data, max(0.0, q - 100.0 * tol), presorted=True)
     hi = percentile(data, min(100.0, q + 100.0 * tol), presorted=True)
     # The band edges come from a different float grouping than the
-    # sketch's interpolation; allow a last-ulp relative slop.
+    # sketch's interpolation; allow a last-ulp relative slop.  The
+    # abs_tol floor covers subnormal streams, where halving a value in
+    # the lerp underflows to 0.0 and no rel_tol can bridge the gap.
     assert (lo <= got <= hi
-            or math.isclose(got, lo, rel_tol=1e-9)
-            or math.isclose(got, hi, rel_tol=1e-9)), (
+            or math.isclose(got, lo, rel_tol=1e-9, abs_tol=1e-300)
+            or math.isclose(got, hi, rel_tol=1e-9, abs_tol=1e-300)), (
         f"q={q}: sketch {got} outside exact band [{lo}, {hi}] "
         f"(rank {rank_of(data, got):.4f})")
 
