@@ -28,8 +28,10 @@ from repro.analysis.memory_report import (
 from repro.analysis.observability import format_gauges, gauge_rows
 from repro.analysis.serving import (
     format_serving_summary,
+    format_tenant_summary,
     goodput_vs_rate_rows,
     serving_summary_rows,
+    tenant_rows,
 )
 from repro.analysis.summary import SummaryStats, summarize
 from repro.analysis.tables import format_table
@@ -38,8 +40,10 @@ __all__ = [
     "format_gauges",
     "gauge_rows",
     "format_serving_summary",
+    "format_tenant_summary",
     "goodput_vs_rate_rows",
     "serving_summary_rows",
+    "tenant_rows",
     "strategy_sweep",
     "scaleout_sweep",
     "platform_sweep",

@@ -30,9 +30,12 @@ def gauge_rows(points: Iterable[GaugePoint],
     if max_rows > 0 and len(series) > max_rows:
         step = (len(series) - 1) / (max_rows - 1)
         series = [series[round(i * step)] for i in range(max_rows)]
+    # The shared-block column only appears when some point has shared
+    # blocks, so non-sharing runs keep their familiar table shape.
+    sharing = any(p.kv_shared_blocks for p in series)
     rows = []
     for p in series:
-        rows.append({
+        row = {
             "t (s)": round(p.t_s, 2),
             "replica": p.replica,
             "queue": p.queue_depth,
@@ -43,7 +46,10 @@ def gauge_rows(points: Iterable[GaugePoint],
             "KV (GB)": round(p.kv_bytes / GB, 2),
             "KV util": round(p.kv_utilization, 3),
             "replicas": p.active_replicas,
-        })
+        }
+        if sharing:
+            row["KV shared"] = p.kv_shared_blocks
+        rows.append(row)
     return rows
 
 

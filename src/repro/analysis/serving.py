@@ -8,10 +8,11 @@ snippets look identical.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 from repro.serve.metrics import ServingReport, SloConfig
+from repro.serve.request import ServeRequest
 
 
 def serving_row(label: Any, report: ServingReport) -> Dict[str, Any]:
@@ -106,6 +107,12 @@ def defrag_comparison_rows(
                 getattr(kv, "migrated_bytes", 0) / (1 << 20), 1)
             if kv else "-",
         })
+        # Prefix-sharing columns appear only when some run declared
+        # prefixes, so existing tables keep their shape.
+        if kv is not None and getattr(kv, "prefix_lookups", 0):
+            rows[-1]["prefix hit"] = round(kv.prefix_hit_rate, 3)
+            rows[-1]["shared (MB)"] = round(kv.shared_bytes / (1 << 20), 1)
+            rows[-1]["cow (MB)"] = round(kv.cow_copy_bytes / (1 << 20), 2)
     return rows
 
 
@@ -118,3 +125,51 @@ def format_defrag_comparison(
     if title is None:
         title = "pool-level vs. cache-level defragmentation"
     return format_table(defrag_comparison_rows(results, slo), title=title)
+
+
+def tenant_rows(
+    requests: Iterable[ServeRequest],
+    makespan_s: float,
+    slo: Optional[SloConfig] = None,
+) -> List[Dict[str, Any]]:
+    """One SLO-metrics row per tenant of a multi-tenant run.
+
+    Groups the request population by ``request.tenant`` (requests
+    without a tenant land in a ``"-"`` row) and reports each group
+    through the same :class:`~repro.serve.metrics.ServingReport`
+    aggregation as the fleet-wide summary, plus the tenant's share of
+    completed output tokens — the quantity weighted-fair queueing
+    divides.  Rows are sorted by tenant id for stable output.
+    """
+    groups: Dict[str, List[ServeRequest]] = {}
+    for request in requests:
+        groups.setdefault(request.tenant or "-", []).append(request)
+    total_tokens = sum(r.tokens_done for g in groups.values()
+                       for r in g if r.finished) or 1
+    rows = []
+    for tenant in sorted(groups):
+        population = groups[tenant]
+        report = ServingReport.from_requests(population, makespan_s, slo)
+        tokens = sum(r.tokens_done for r in population if r.finished)
+        row: Dict[str, Any] = {"tenant": tenant, "requests": len(population)}
+        row.update(report.as_row())
+        # Fleet-level columns are meaningless split by tenant.
+        for fleet_only in ("req", "util", "RM (GB)", "migrated (MB)"):
+            row.pop(fleet_only, None)
+        row["tokens"] = tokens
+        row["token share"] = round(tokens / total_tokens, 3)
+        rows.append(row)
+    return rows
+
+
+def format_tenant_summary(
+    requests: Iterable[ServeRequest],
+    makespan_s: float,
+    title: Optional[str] = None,
+    slo: Optional[SloConfig] = None,
+) -> str:
+    """Render the per-tenant serving table (``repro serve --tenants``)."""
+    rows = tenant_rows(requests, makespan_s, slo)
+    if not rows:
+        return "(no requests)"
+    return format_table(rows, title=title or "per-tenant serving summary")

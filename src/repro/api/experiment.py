@@ -131,6 +131,15 @@ class ServingSpec:
     ``gauge_every_s > 0`` samples time-series gauges at that simulated
     stride, and ``streaming=True`` computes report percentiles from
     constant-memory t-digest sketches (see :mod:`repro.obs`).
+
+    ``prefix_sharing=True`` switches the paged KV model to its
+    radix-trie prefix-sharing variant (``kv_cache: "paged"`` becomes
+    ``"paged-shared"``, block size preserved; a bare default
+    ``"chunked"`` upgrades to ``"paged-shared"``) so requests
+    declaring a shared prompt prefix — e.g. from the
+    ``"multi-tenant?…"`` arrivals generator — reference the same
+    ref-counted blocks copy-on-write.  Naming ``"paged-shared"``
+    directly in ``kv_cache`` is equivalent.
     """
 
     model: str = "opt-13b"
@@ -155,6 +164,7 @@ class ServingSpec:
     gauge_every_s: float = 0.0        # gauge stride; 0 -> no gauges
     streaming: bool = False           # sketch-backed report percentiles
     disagg: Optional[DisaggSpec] = None  # prefill/decode disaggregation
+    prefix_sharing: bool = False      # paged -> paged-shared (radix trie)
     seed: int = 0
 
     def __post_init__(self):
@@ -174,6 +184,23 @@ class ServingSpec:
                                ("autoscaler", AutoscalerSpec)):
             object.__setattr__(
                 self, attr, spec_cls.parse(getattr(self, attr)).spec_string())
+        if self.prefix_sharing:
+            # Sugar over naming "paged-shared" directly: rewrite the
+            # paged model (or the untouched chunked default) to the
+            # prefix-sharing variant, preserving any block size.
+            kv = KVCacheSpec.parse(self.kv_cache)
+            if kv.info.name == "paged" or self.kv_cache == "chunked":
+                query = "&".join(f"{k}={v}"
+                                 for k, v in sorted(kv.params.items()))
+                shared = "paged-shared" + (f"?{query}" if query else "")
+                object.__setattr__(
+                    self, "kv_cache",
+                    KVCacheSpec.parse(shared).spec_string())
+            elif kv.info.name != "paged-shared":
+                raise SpecError(
+                    f"prefix_sharing needs a paged KV cache, got "
+                    f"{self.kv_cache!r} (use kv_cache: \"paged\" or "
+                    f"\"paged-shared\")")
         if self.trace:
             object.__setattr__(
                 self, "trace", TraceSpec.parse(self.trace).spec_string())

@@ -59,7 +59,7 @@ from repro.analysis.experiments import (
     strategy_sweep,
 )
 from repro.analysis.observability import format_gauges
-from repro.analysis.serving import format_serving_summary
+from repro.analysis.serving import format_serving_summary, format_tenant_summary
 from repro.api import (
     AllocatorSpec,
     ExperimentSpec,
@@ -294,6 +294,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.spec:
         return _run_spec_file(args.spec)
+    if args.tenants:
+        # --tenants is sugar over the multi-tenant arrivals component;
+        # a full --arrivals spec already says everything.
+        if args.arrivals:
+            print("serve: --tenants conflicts with --arrivals; encode the "
+                  "tenant count in the spec, e.g. "
+                  "'multi-tenant?tenants=8&rate=4'", file=sys.stderr)
+            return 2
+        if args.tenants < 1:
+            print(f"serve: --tenants must be >= 1, got {args.tenants}",
+                  file=sys.stderr)
+            return 2
+        args.arrivals = (f"multi-tenant?tenants={args.tenants}"
+                         f"&rate={args.rate:g}"
+                         f"&shared_prefix_tokens={args.shared_prefix}")
     if args.arrivals:
         # One spec string names the whole arrival process — the
         # registry-validated path (replay/closed-loop live here too).
@@ -332,6 +347,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     # Parse every component spec up front: a typo fails before any
     # simulation runs, with the registry's known-names message.
+    if args.prefix_sharing:
+        kv = KVCacheSpec.parse(args.kv_cache)
+        if kv.info.name == "paged" or args.kv_cache == "chunked":
+            # Rewrite the paged model (or the untouched chunked
+            # default) to the prefix-sharing variant, keeping params.
+            query = "&".join(f"{k}={v}" for k, v in sorted(kv.params.items()))
+            args.kv_cache = "paged-shared" + (f"?{query}" if query else "")
+        elif kv.info.name != "paged-shared":
+            print(f"serve: --prefix-sharing needs a paged KV cache, got "
+                  f"--kv-cache {args.kv_cache!r} (use 'paged' or "
+                  f"'paged-shared')", file=sys.stderr)
+            return 2
     kv_spec = KVCacheSpec.parse(args.kv_cache)
     scheduler_spec = SchedulerSpec.parse(args.scheduler)
     preemption_spec = PreemptionSpec.parse(args.preemption)
@@ -362,6 +389,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     reports = {}
     gauge_points = []
     phase_rows = []
+    tenant_tables = []
     for spec in allocator_specs:
         # Regenerate per allocator: the simulator mutates the requests.
         stream = arrivals.generate(n_requests, lengths, seed=args.seed)
@@ -394,6 +422,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if gauges is not None:
                 gauge_points.extend(result.gauges)
         reports[spec.label] = result.report(slo, streaming=args.streaming)
+        population = getattr(result, "requests", [])
+        if any(r.tenant for r in population):
+            tenant_tables.append(format_tenant_summary(
+                population, result.makespan_s,
+                title=f"per-tenant serving summary ({spec.label})", slo=slo))
         if args.disagg:
             # Per-phase TTFT attribution: where first-token latency was
             # actually spent, plus the migration bill between fleets.
@@ -421,6 +454,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if autoscaler_spec.name != "none" and (args.gpus > 1 or args.disagg):
         title += f", autoscaler={autoscaler_spec.label}"
     print(format_serving_summary(reports, title=title, slo=slo))
+    for table in tenant_tables:
+        print()
+        print(table)
     if phase_rows:
         print()
         print(format_table(phase_rows,
@@ -495,8 +531,13 @@ def cmd_list_components(args: argparse.Namespace) -> int:
     kinds = component_kinds()
     if args.kind:
         if args.kind not in kinds:
-            print(f"unknown component kind {args.kind!r}; "
-                  f"known: {', '.join(sorted(kinds))}", file=sys.stderr)
+            # Print the kind catalogue with the error so the fix is one
+            # copy-paste away.
+            catalogue = "\n".join(
+                f"  {kind:<12} {kind_label(kind)}"
+                for kind in sorted(kinds))
+            print(f"unknown component kind {args.kind!r}; known kinds:\n"
+                  f"{catalogue}", file=sys.stderr)
             return 2
         kinds = [args.kind]
     for kind in kinds:
@@ -654,6 +695,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="KV-cache memory model spec, e.g. 'chunked', "
                         "'paged?block_tokens=16' "
                         f"(names: {kv_cache_names()})")
+    p.add_argument("--prefix-sharing", action="store_true",
+                   help="share common prompt prefixes across requests "
+                        "copy-on-write (switches --kv-cache to "
+                        "'paged-shared'; needs a paged model)")
+    p.add_argument("--tenants", type=int, default=0,
+                   help="multi-tenant workload: N tenants with "
+                        "Zipf-skewed traffic, each declaring a shared "
+                        "per-tenant prompt prefix (sugar for --arrivals "
+                        "'multi-tenant?tenants=N&...')")
+    p.add_argument("--shared-prefix", type=int, default=256,
+                   help="shared prompt-prefix length per tenant, tokens "
+                        "(with --tenants)")
     p.add_argument("--preemption", default="recompute",
                    help="preemption policy spec: 'recompute' (free + "
                         "re-prefill) or 'swap' (host offload priced by an "

@@ -46,6 +46,9 @@ class GaugePoint:
         Replicas the front-end considers active (always 1 for a
         single-replica run; fleet-level changes are recorded by
         :meth:`GaugeSampler.note_active_replicas`).
+    kv_shared_blocks:
+        Resident shared prefix blocks held by a prefix-sharing KV
+        cache (0 for models without sharing).
     """
 
     t_s: float
@@ -59,6 +62,7 @@ class GaugePoint:
     kv_bytes: int
     kv_utilization: float
     active_replicas: int = 1
+    kv_shared_blocks: int = 0
 
 
 class GaugeSampler:
@@ -116,6 +120,7 @@ class GaugeSampler:
             kv_bytes=kv.live_kv_bytes,
             kv_utilization=utilization if utilization is not None else 1.0,
             active_replicas=self._active_at(simulator.session.elapsed_s),
+            kv_shared_blocks=getattr(kv, "shared_live_blocks", 0),
         )
         self.points.append(point)
         return point

@@ -72,12 +72,15 @@ FRONTEND_REPLICA = -1
 #: prefill/decode serving, when a request's KV leaves its prefill
 #: replica and lands on its decode replica.
 REQUEST_EVENT_KINDS = (
-    "arrival", "admit", "first_token", "migrate_out", "migrate_in",
-    "preempt", "finish", "reject",
+    "arrival", "admit", "cow_copy", "first_token", "migrate_out",
+    "migrate_in", "preempt", "finish", "reject",
 )
 
-#: Allocator / front-end event kinds.
-SYSTEM_EVENT_KINDS = ("memory", "oom", "empty_cache", "autoscale")
+#: Allocator / front-end / KV-cache event kinds.  ``kv_shared``
+#: samples the resident shared-block count of a prefix-sharing KV
+#: cache (rendered as a counter track, like ``memory``).
+SYSTEM_EVENT_KINDS = ("memory", "oom", "empty_cache", "autoscale",
+                      "kv_shared")
 
 
 @dataclass(frozen=True)
@@ -266,9 +269,15 @@ class TraceRecorder:
                     "pid": pid, "tid": 0,
                     "args": {"active": event.args.get("active", 0)},
                 })
+            elif event.kind == "kv_shared":
+                events.append({
+                    "name": "shared KV blocks", "ph": "C", "ts": ts,
+                    "pid": pid, "tid": 0,
+                    "args": {"blocks": event.args.get("blocks", 0)},
+                })
             elif event.kind in ("oom", "empty_cache", "first_token",
                                 "migrate_out", "migrate_in",
-                                "preempt", "reject"):
+                                "preempt", "reject", "cow_copy"):
                 args = {k: v for k, v in event.args.items()
                         if isinstance(v, (int, float, str, bool))}
                 events.append({

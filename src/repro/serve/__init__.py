@@ -29,13 +29,18 @@ Layout
 ------
 - :mod:`repro.serve.request`    — the request lifecycle model.
 - :mod:`repro.serve.arrivals`   — Poisson / MMPP / replayed /
-  closed-loop arrival processes with heavy-tailed prompt/output
-  lengths.
+  closed-loop / multi-tenant arrival processes with heavy-tailed
+  prompt/output lengths.
 - :mod:`repro.serve.kvcache`    — KV-cache memory models (``chunked``
-  vs. ``paged``): pool-level vs. cache-level defragmentation.
+  vs. ``paged``): pool-level vs. cache-level defragmentation, with
+  first-class block reference counts.
+- :mod:`repro.serve.prefix`     — radix-trie prefix sharing over the
+  paged model (``paged-shared``): ref-counted shared blocks,
+  copy-on-write, LRU eviction under pressure.
 - :mod:`repro.serve.scheduler`  — FCFS / shortest-prompt / memory-aware
-  admission policies (the last queries ``allocator.stats()`` through
-  the KV model's headroom — free-block counts under paged KV).
+  / weighted-fair (``wfq``) admission policies (memory-aware queries
+  ``allocator.stats()`` through the KV model's headroom — free-block
+  counts under paged KV, reuse-aware under prefix sharing).
 - :mod:`repro.serve.preemption` — what an OOM eviction does to the
   victim's KV: ``recompute`` (free + re-prefill) or ``swap`` (host
   offload over a modeled interconnect).
@@ -66,6 +71,7 @@ from repro.serve.arrivals import (
     ClosedLoopArrivals,
     LengthSampler,
     MMPPArrivals,
+    MultiTenantArrivals,
     PoissonArrivals,
     ReplayArrivals,
     arrival_names,
@@ -106,6 +112,7 @@ from repro.serve.kvcache import (
     kv_cache_names,
     resolve_kv_cache,
 )
+from repro.serve.prefix import PrefixTrie, SharedPagedKVCache
 from repro.serve.metrics import (
     ServingReport,
     ServingReportAccumulator,
@@ -131,7 +138,9 @@ from repro.serve.scheduler import (
     SchedulerSpec,
     SchedulerView,
     ShortestPromptScheduler,
+    WeightedFairScheduler,
     make_scheduler,
+    parse_tenant_weights,
     resolve_scheduler,
     scheduler_names,
 )
@@ -150,6 +159,7 @@ __all__ = [
     "LengthSampler",
     "PoissonArrivals",
     "MMPPArrivals",
+    "MultiTenantArrivals",
     "ReplayArrivals",
     "arrival_names",
     "load_arrival_log",
@@ -168,6 +178,8 @@ __all__ = [
     "KVCacheSpec",
     "ChunkedKVCache",
     "PagedKVCache",
+    "SharedPagedKVCache",
+    "PrefixTrie",
     "KV_CACHE_MODELS",
     "kv_cache_names",
     "resolve_kv_cache",
@@ -185,6 +197,8 @@ __all__ = [
     "FcfsScheduler",
     "ShortestPromptScheduler",
     "MemoryAwareScheduler",
+    "WeightedFairScheduler",
+    "parse_tenant_weights",
     "SCHEDULER_FACTORIES",
     "make_scheduler",
     "resolve_scheduler",

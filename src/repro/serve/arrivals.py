@@ -1,6 +1,6 @@
 """Request arrival processes for the online serving simulator.
 
-Four processes cover the traffic shapes serving papers evaluate, all
+Five processes cover the traffic shapes serving papers evaluate, all
 registered under the ``arrivals`` component kind and nameable by the
 same ``"name?key=value"`` mini-DSL as allocators:
 
@@ -14,6 +14,11 @@ same ``"name?key=value"`` mini-DSL as allocators:
 * :class:`ClosedLoopArrivals` (``"closed-loop?clients=8&think_s=2"``)
   — a fixed population of clients, each issuing its next request after
   a think time, the classic closed-system load model.
+* :class:`MultiTenantArrivals`
+  (``"multi-tenant?tenants=8&zipf=1.1&shared_prefix_tokens=256"``) —
+  aggregate Poisson traffic from a Zipf-popular tenant population;
+  requests carry tenant ids and declare each tenant's shared prompt
+  prefix (feeding the ``wfq`` scheduler and prefix-sharing KV cache).
 
 Every process emits :class:`~repro.serve.request.ServeRequest` objects
 with prompt/output lengths drawn from the same heavy-tailed log-normal
@@ -316,6 +321,125 @@ class ClosedLoopArrivals(ArrivalProcess):
                 now += self.service_s + rng.expovariate(1.0 / self.think_s)
         times.sort()
         return times[:n_requests]
+
+
+def _check_multi_tenant(params: Dict[str, Any]) -> None:
+    tenants = params.get("tenants")
+    if tenants is not None and tenants < 1:
+        raise SpecError(
+            f"multi-tenant tenants must be >= 1, got {tenants}")
+    rate = params.get("rate_per_s")
+    if rate is not None and rate <= 0:
+        raise SpecError(
+            f"multi-tenant rate_per_s must be positive, got {rate}")
+    zipf = params.get("zipf")
+    if zipf is not None and zipf < 0:
+        raise SpecError(
+            f"multi-tenant zipf must be >= 0, got {zipf}")
+    prefix = params.get("shared_prefix_tokens")
+    if prefix is not None and prefix < 0:
+        raise SpecError(
+            f"multi-tenant shared_prefix_tokens must be >= 0, got {prefix}")
+
+
+@register_component(
+    "arrivals", "multi-tenant",
+    params=(
+        Param("tenants", int, 4,
+              doc="tenant population size (tenant ids t0..tN-1)"),
+        Param("rate_per_s", float, 4.0, kind="float", aliases=("rate",),
+              doc="aggregate Poisson arrival rate, requests/second"),
+        Param("zipf", float, 1.1, kind="float",
+              doc="tenant popularity skew: P(tk) ∝ 1/(k+1)^zipf "
+                  "(0 = uniform)"),
+        Param("shared_prefix_tokens", int, 256, aliases=("prefix",),
+              doc="tokens of each tenant's shared prompt prefix "
+                  "(system prompt); 0 disables prefix declarations"),
+    ),
+    check=_check_multi_tenant,
+    description="Poisson traffic from N tenants with Zipf popularity; "
+                "each request carries its tenant id and declares the "
+                "tenant's shared prompt prefix",
+)
+@dataclass
+class MultiTenantArrivals(ArrivalProcess):
+    """Aggregate Poisson traffic split over a Zipf tenant population.
+
+    Models a multi-tenant endpoint: ``tenants`` customers share one
+    serving fleet, request volume follows a Zipf popularity law
+    (tenant ``tk`` with probability ∝ ``1/(k+1)**zipf``; ``zipf=0`` is
+    uniform), and every request of tenant ``tk`` starts with the same
+    ``shared_prefix_tokens``-token system prompt.  Emitted requests
+    carry ``tenant="tk"`` (consumed by the ``wfq`` scheduler and the
+    per-tenant report rows) and declare
+    ``prefix_id="tk" / prefix_tokens=shared_prefix_tokens`` (consumed
+    by the ``paged-shared`` prefix-sharing KV cache; harmless
+    elsewhere).  Prompts are the shared prefix plus a heavy-tailed
+    private suffix, so the stream works identically — same lengths,
+    same times — with sharing on or off.
+    """
+
+    tenants: int = 4
+    rate_per_s: float = 4.0
+    zipf: float = 1.1
+    shared_prefix_tokens: int = 256
+    kind: str = field(default="multi-tenant", init=False)
+
+    def __post_init__(self):
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if self.rate_per_s <= 0:
+            raise ValueError(
+                f"rate_per_s must be positive, got {self.rate_per_s}")
+        if self.zipf < 0:
+            raise ValueError(f"zipf must be >= 0, got {self.zipf}")
+        if self.shared_prefix_tokens < 0:
+            raise ValueError(
+                f"shared_prefix_tokens must be >= 0, "
+                f"got {self.shared_prefix_tokens}")
+
+    def arrival_times(self, n_requests: int, rng: random.Random) -> List[float]:
+        now = 0.0
+        times = []
+        for _ in range(n_requests):
+            now += rng.expovariate(self.rate_per_s)
+            times.append(now)
+        return times
+
+    def _sample_tenant(self, rng: random.Random) -> int:
+        weights = [1.0 / (k + 1) ** self.zipf for k in range(self.tenants)]
+        total = sum(weights)
+        pick = rng.random() * total
+        for k, weight in enumerate(weights):
+            pick -= weight
+            if pick < 0:
+                return k
+        return self.tenants - 1
+
+    def generate(
+        self,
+        n_requests: int,
+        lengths: LengthSampler = LengthSampler(),
+        seed: int = 0,
+    ) -> List[ServeRequest]:
+        """Materialize the stream with tenant + prefix annotations."""
+        if n_requests < 1:
+            raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+        rng = random.Random(seed * 9176 + 11)
+        times = self.arrival_times(n_requests, rng)
+        prefix = self.shared_prefix_tokens
+        requests = []
+        for i, t in enumerate(sorted(times)):
+            suffix, output = lengths.sample(rng)
+            tenant = f"t{self._sample_tenant(rng)}"
+            requests.append(ServeRequest(
+                req_id=i, arrival_s=float(t),
+                prompt_tokens=prefix + suffix, output_tokens=output,
+                tenant=tenant,
+                prefix_id=tenant if prefix > 0 else None,
+                prefix_tokens=prefix,
+            ))
+        return requests
 
 
 @dataclass(frozen=True)

@@ -103,6 +103,19 @@ class KVCacheMetrics:
     util_sum / util_samples:
         Accumulated per-decode-step KV utilization samples
         (used tokens / allocated token capacity over the running batch).
+    shared_bytes:
+        KV bytes served from already-resident shared prefix blocks
+        instead of fresh allocations (prefix-sharing models only; the
+        reuse savings ledger).
+    cow_copy_bytes:
+        Bytes memcpy'd by copy-on-write at the shared/private boundary
+        — when a request's private context begins inside a partially
+        shared block, those prefix-tail tokens are copied into the
+        request's first private block.
+    prefix_lookups / prefix_hits:
+        Admissions that declared a sharable prefix, and the subset
+        that reused at least one resident shared block (see
+        :attr:`prefix_hit_rate`).
     """
 
     kv_cache: str
@@ -117,6 +130,10 @@ class KVCacheMetrics:
     migrated_bytes: int = 0
     util_sum: float = 0.0
     util_samples: int = 0
+    shared_bytes: int = 0
+    cow_copy_bytes: int = 0
+    prefix_lookups: int = 0
+    prefix_hits: int = 0
 
     @property
     def block_utilization(self) -> float:
@@ -129,6 +146,15 @@ class KVCacheMetrics:
     def internal_frag_ratio(self) -> float:
         """1 − block utilization: the cache-level fragmentation metric."""
         return 1.0 - self.block_utilization
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prefix-declaring admissions that reused at
+        least one resident shared block (0.0 when nothing declared a
+        prefix — plain paged/chunked runs report 0)."""
+        if self.prefix_lookups == 0:
+            return 0.0
+        return self.prefix_hits / self.prefix_lookups
 
     def as_row(self) -> Dict[str, Any]:
         """Table columns for ``repro.analysis`` rendering."""
@@ -171,6 +197,16 @@ class KVCacheModel(ABC):
         self._session = None  # ReplaySession, bound by the simulator
         self._allocator: Optional[BaseAllocator] = None
         self._live_kv_bytes = 0
+        self._trace = None  # obs.TraceRecorder, optional
+        self._replica = 0
+
+    def attach_trace(self, recorder, replica: int = 0) -> None:
+        """Attach an observability recorder (optional; the simulator
+        calls this when it was itself given a trace) so cache-level
+        events — copy-on-write instants, shared-block counters — land
+        in the same lifecycle stream as the request events."""
+        self._trace = recorder
+        self._replica = replica
 
     def bind(self, session, allocator: BaseAllocator) -> None:
         """Attach the replica's session + allocator (once, at startup)."""
@@ -362,7 +398,15 @@ class PagedKVCache(KVCacheModel):
     allocator choice irrelevant.  The price moves into the cache layer:
     each request wastes the tail of its last block (internal
     fragmentation), and attention must gather through a block table.
-    Blocks are freed exactly at request completion (or preemption).
+
+    Every block carries a first-class **reference count**
+    (:meth:`ref_count`): a block table entry is one reference, and a
+    block returns to the pool exactly when its count reaches zero.
+    Under plain paged serving every block has a single referent, so
+    this degenerates to free-at-release (byte-identical to the
+    pre-ref-count behaviour); the prefix-sharing subclass
+    (:class:`repro.serve.prefix.SharedPagedKVCache`) holds extra
+    references for blocks shared across requests.
     """
 
     name = "paged"
@@ -372,11 +416,30 @@ class PagedKVCache(KVCacheModel):
         self.block_tokens = block_tokens
         self.block_bytes = kv_bytes(model, block_tokens)
         self._tables: Dict[int, List[str]] = {}  # req_id -> block names
+        self._ref: Dict[str, int] = {}  # block name -> reference count
         self._live_blocks = 0
         self._next_block = 0
 
     def _blocks_for(self, tokens: int) -> int:
         return -(-max(tokens, 1) // self.block_tokens)  # ceil div
+
+    # -- first-class block reference counts ----------------------------
+    def ref_count(self, block: str) -> int:
+        """Live references to ``block`` (0 once it returned to the pool)."""
+        return self._ref.get(block, 0)
+
+    def _add_block_ref(self, block: str) -> None:
+        self._ref[block] = self._ref.get(block, 0) + 1
+
+    def _drop_block_ref(self, block: str) -> None:
+        """Drop one reference; the block frees only at ref 0."""
+        refs = self._ref[block] - 1
+        if refs > 0:
+            self._ref[block] = refs
+            return
+        del self._ref[block]
+        self._free(block, self.block_bytes)
+        self._live_blocks -= 1
 
     def _ensure(self, request: ServeRequest, tokens: int) -> bool:
         """Grow the block table to cover ``tokens``; roll back on OOM."""
@@ -389,14 +452,14 @@ class PagedKVCache(KVCacheModel):
             if not self._try_alloc(name, self.block_bytes):
                 for block in reversed(added):
                     table.remove(block)
-                    self._free(block, self.block_bytes)
-                    self._live_blocks -= 1
+                    self._drop_block_ref(block)
                 if not table:
                     del self._tables[request.req_id]
                 request.kv_capacity_tokens = len(table) * self.block_tokens
                 return False
             table.append(name)
             added.append(name)
+            self._add_block_ref(name)
             self._live_blocks += 1
         self.metrics.peak_blocks = max(self.metrics.peak_blocks,
                                        self._live_blocks)
@@ -415,10 +478,15 @@ class PagedKVCache(KVCacheModel):
             return
         if preempted:
             self._note_preempt(request)
+        self._forget(request)
         for block in table:
-            self._free(block, self.block_bytes)
-            self._live_blocks -= 1
+            self._drop_block_ref(block)
         request.kv_capacity_tokens = 0
+
+    def _forget(self, request: ServeRequest) -> None:
+        """Hook for subclasses to drop per-request sharing state
+        (called by :meth:`release` after preemption accounting, before
+        the block references are dropped)."""
 
     def projected_bytes(self, request: ServeRequest) -> int:
         return self._blocks_for(request.total_tokens) * self.block_bytes

@@ -57,6 +57,17 @@ class ServeRequest:
         the prefill replica admitted the request, and time spent
         queued (KV parked on the wire's far side) before the decode
         replica did.  ``None`` for colocated runs.
+    tenant:
+        Owning tenant id (``""`` for single-tenant streams).  Set by
+        multi-tenant arrival processes; consumed by the weighted-fair
+        scheduler and the per-tenant report rows.
+    prefix_id / prefix_tokens:
+        Declared shared token prefix: the first ``prefix_tokens``
+        tokens of the prompt are byte-identical across every request
+        carrying the same ``prefix_id`` (a shared system prompt,
+        few-shot preamble, …).  A prefix-sharing KV-cache model may
+        serve those tokens from shared, ref-counted blocks;
+        ``prefix_id=None`` (the default) opts out.
     """
 
     req_id: int
@@ -74,6 +85,9 @@ class ServeRequest:
     preemptions: int = 0
     prefill_wait_s: Optional[float] = field(default=None, repr=False)
     decode_wait_s: Optional[float] = field(default=None, repr=False)
+    tenant: str = field(default="", repr=False)
+    prefix_id: Optional[str] = field(default=None, repr=False)
+    prefix_tokens: int = field(default=0, repr=False)
     # KV bookkeeping maintained by the replica's KVCacheModel.
     # kv_capacity_tokens is the token capacity currently provisioned
     # (chunk-rounded for chunked KV, whole blocks for paged KV);

@@ -17,6 +17,12 @@ the same ``"name?key=value"`` mini-DSL as allocators)
                     full-context KV footprint exceeds the allocator's
                     current headroom (``margin`` is the safety factor:
                     ``"memory-aware?margin=1.5"``).
+``wfq``             weighted fair queueing across tenants: each tenant
+                    accrues virtual time as it is served, scaled by
+                    1/weight, and the head request of the
+                    lowest-virtual-time tenant is admitted next
+                    (``"wfq?weights=t0:2,t1:1"``; unlisted tenants
+                    weigh 1).
 """
 
 from __future__ import annotations
@@ -37,7 +43,7 @@ from repro.api.registry import (
 )
 from repro.api.spec import ComponentSpec
 from repro.serve.kvcache import KVCacheModel
-from repro.serve.request import ServeRequest
+from repro.serve.request import RequestState, ServeRequest
 from repro.workloads.models import ModelSpec
 
 register_kind("scheduler", label="scheduler")
@@ -170,6 +176,132 @@ class MemoryAwareScheduler(Scheduler):
             if view.projected_kv_bytes(request) * self.margin <= headroom:
                 return request
         return None
+
+
+def parse_tenant_weights(weights: str) -> Dict[str, float]:
+    """Parse a WFQ weights string into ``{tenant: weight}``.
+
+    Two entry forms, comma-separated: ``tenant:weight`` pairs
+    (``"t0:2,t1:1"``) and bare positional weights (``"2,1"``, assigned
+    to tenants ``t0``, ``t1``, … in order).  Weights must be positive;
+    a tenant repeated with a *different* weight is an error, while
+    exact duplicates collapse (``"t0:2,t0:2"`` ≡ ``"t0:2"``).  Scaling
+    every weight by a constant yields the same schedule — only ratios
+    matter — so ``"t0:4,t1:2"`` normalizes to the ``"t0:2,t1:1"``
+    behaviour.
+    """
+    parsed: Dict[str, float] = {}
+    position = 0
+    for entry in filter(None, (e.strip() for e in weights.split(","))):
+        if ":" in entry:
+            tenant, _, raw = entry.partition(":")
+            tenant = tenant.strip()
+        else:
+            tenant, raw = f"t{position}", entry
+            position += 1
+        try:
+            weight = float(raw)
+        except ValueError:
+            raise SpecError(
+                f"wfq weight for tenant {tenant!r} must be a number, "
+                f"got {raw!r}") from None
+        if not weight > 0:
+            raise SpecError(
+                f"wfq weight for tenant {tenant!r} must be positive, "
+                f"got {weight}")
+        if tenant in parsed and parsed[tenant] != weight:
+            raise SpecError(
+                f"wfq tenant {tenant!r} given conflicting weights "
+                f"{parsed[tenant]} and {weight}")
+        parsed[tenant] = weight
+    return parsed
+
+
+def _check_weights(params: Dict[str, Any]) -> None:
+    weights = params.get("weights")
+    if weights is not None:
+        parse_tenant_weights(weights)
+
+
+@register_component(
+    "scheduler", "wfq",
+    aliases=("weighted-fair",),
+    params=(
+        Param("weights", str, "", kind="str",
+              doc="per-tenant weights, 'tenant:weight' pairs or bare "
+                  "positional weights, comma-separated "
+                  "(e.g. 't0:2,t1:1' or '2,1'); unlisted tenants "
+                  "weigh 1"),
+    ),
+    check=_check_weights,
+    description="weighted fair queueing across tenants: admit the "
+                "head request of the tenant with the lowest "
+                "service-per-weight virtual time",
+)
+class WeightedFairScheduler(Scheduler):
+    """Weighted fair queueing over the ``tenant`` field of requests.
+
+    Classic virtual-time WFQ, with *expected decode work* (remaining
+    prompt + output tokens) as the service currency: each tenant
+    accrues ``work / weight`` virtual time when a request of theirs is
+    admitted, and ``select`` picks the head-of-line request of the
+    tenant with the smallest virtual time (FCFS within a tenant, so
+    one tenant's order is never reshuffled).  A tenant first seen
+    mid-run joins at the *current* minimum virtual time — it cannot
+    cash in service credit for the time before it existed.
+
+    The charge is applied lazily on the next ``select`` call, and only
+    if the previously returned request actually entered the batch — a
+    request bounced by an allocator OOM costs its tenant nothing.
+    Scaling all weights by a constant leaves the schedule unchanged
+    (only ``work/weight`` ratios are compared).
+    """
+
+    name = "wfq"
+
+    def __init__(self, weights: str = ""):
+        self.weights = (parse_tenant_weights(weights)
+                        if isinstance(weights, str) else dict(weights))
+        self._vtime: Dict[str, float] = {}
+        self._pending: Optional[ServeRequest] = None
+        self._pending_work: float = 0.0
+
+    def _weight(self, tenant: str) -> float:
+        return self.weights.get(tenant, 1.0)
+
+    def _settle(self) -> None:
+        """Charge the last selection if it was actually admitted."""
+        request, self._pending = self._pending, None
+        if request is None:
+            return
+        if request.state in (RequestState.RUNNING, RequestState.FINISHED):
+            tenant = request.tenant
+            self._vtime[tenant] = (self._vtime.get(tenant, 0.0)
+                                   + self._pending_work
+                                   / self._weight(tenant))
+
+    def select(self, queue, view):
+        del view
+        self._settle()
+        if not queue:
+            return None
+        heads: Dict[str, ServeRequest] = {}
+        for request in queue:
+            heads.setdefault(request.tenant, request)
+        floor = min((self._vtime[t] for t in heads if t in self._vtime),
+                    default=0.0)
+        for tenant in heads:
+            if tenant not in self._vtime:
+                self._vtime[tenant] = floor
+        request = min(
+            heads.values(),
+            key=lambda r: (self._vtime[r.tenant], r.arrival_s, r.req_id))
+        # Expected service: tokens still to prefill + decode.
+        self._pending = request
+        self._pending_work = float(
+            request.context_tokens
+            + (request.output_tokens - request.tokens_done))
+        return request
 
 
 @dataclass(frozen=True)

@@ -220,6 +220,13 @@ class ServingResult:
             if self.kv_metrics.migrated_bytes:
                 out["migrated_mb"] = round(
                     self.kv_metrics.migrated_bytes / (1 << 20), 1)
+            if self.kv_metrics.prefix_lookups:
+                out["prefix_hit_rate"] = round(
+                    self.kv_metrics.prefix_hit_rate, 3)
+                out["shared_mb"] = round(
+                    self.kv_metrics.shared_bytes / (1 << 20), 1)
+                out["cow_copy_mb"] = round(
+                    self.kv_metrics.cow_copy_bytes / (1 << 20), 1)
         return out
 
     def report(self, slo: Optional[SloConfig] = None,
@@ -277,6 +284,8 @@ class ServingSimulator:
             kv_cache, self.model,
             default_chunk_tokens=self.config.kv_chunk_tokens)
         self.kv.bind(self.session, self.allocator)
+        if trace is not None:
+            self.kv.attach_trace(trace, replica_id)
         self.preemption = resolve_preemption(preemption)
         self.preemption.bind(self)
         self._step_count = 0

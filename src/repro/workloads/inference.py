@@ -96,6 +96,14 @@ class ServingWorkload:
         from repro.serve.kvcache import KVCacheSpec, get_kv_cache_info
 
         spec = KVCacheSpec.parse(self.kv_cache)
+        if spec.name == "paged-shared":
+            # Prefix sharing needs request identity (who shares what),
+            # which a pre-built offline trace doesn't carry.
+            from repro.api.registry import SpecError
+            raise SpecError(
+                "paged-shared is an online-serving KV model; offline "
+                "traces use 'chunked' or 'paged' (run mode=serve for "
+                "prefix sharing)")
         self.kv_cache = spec.spec_string()
         self._block_tokens = 0
         if spec.name == "paged":

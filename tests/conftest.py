@@ -1,10 +1,34 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite.
+
+Hypothesis settings live here, not per-file: every property test runs
+under the ``ci`` profile (no deadline — CI machines stall; printed
+reproduction blobs — a shrunk failure must be replayable from the log)
+unless ``HYPOTHESIS_PROFILE`` selects another.  The nightly CI job
+exports ``HYPOTHESIS_PROFILE=nightly`` for a deeper example budget.
+Individual tests only override ``max_examples``.
+"""
+
+import os
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import GMLakeAllocator, GpuDevice
 from repro.allocators import CachingAllocator, NativeAllocator, VmmNaiveAllocator
 from repro.units import GB
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    settings.get_profile("ci"),
+    max_examples=400,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

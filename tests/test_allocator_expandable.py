@@ -1,7 +1,7 @@
 """Tests for the expandable-segments allocator (extension)."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.allocators import ExpandableSegmentsAllocator
 from repro.errors import OutOfMemoryError
@@ -129,8 +129,7 @@ class TestInvariantsAndProperties:
         expandable.check_invariants()
         assert expandable.active_bytes == 0
 
-    @settings(max_examples=30, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=30)
     @given(st.lists(st.tuples(st.booleans(),
                               st.integers(1, 64 * MB),
                               st.integers(0, 1000)), max_size=50))

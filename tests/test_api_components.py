@@ -46,9 +46,9 @@ class TestKindRegistry:
 
     def test_expected_names_per_kind(self):
         assert api.component_names("scheduler") == [
-            "fcfs", "memory-aware", "shortest-prompt"]
+            "fcfs", "memory-aware", "shortest-prompt", "wfq"]
         assert api.component_names("arrivals") == [
-            "closed-loop", "mmpp", "poisson", "replay"]
+            "closed-loop", "mmpp", "multi-tenant", "poisson", "replay"]
         assert api.component_names("preemption") == ["recompute", "swap"]
         assert api.component_names("autoscaler") == ["none", "queue-depth"]
         assert api.component_names("interconnect") == ["nvlink", "pcie"]
@@ -134,18 +134,18 @@ def _round_trip(spec_cls, name, params):
 
 
 class TestSpecRoundTripProperties:
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(margin=st.floats(min_value=1.0, max_value=16.0,
                             allow_nan=False))
     def test_scheduler(self, margin):
         _round_trip(SchedulerSpec, "memory-aware", {"margin": margin})
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(rate=_floats)
     def test_arrivals_poisson(self, rate):
         _round_trip(ArrivalSpec, "poisson", {"rate_per_s": rate})
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(clients=st.integers(min_value=1, max_value=512),
            think=_floats, service=_floats)
     def test_arrivals_closed_loop(self, clients, think, service):
@@ -153,12 +153,12 @@ class TestSpecRoundTripProperties:
                     {"clients": clients, "think_s": think,
                      "service_s": service})
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(bandwidth=_floats)
     def test_preemption_swap(self, bandwidth):
         _round_trip(PreemptionSpec, "swap", {"pcie_gb_per_s": bandwidth})
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(low=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
            delta=st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
            floor=st.integers(min_value=1, max_value=64))
@@ -167,12 +167,12 @@ class TestSpecRoundTripProperties:
                     {"high": low + delta, "low": low,
                      "min_replicas": floor})
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(tokens=st.integers(min_value=1, max_value=4096))
     def test_kv_cache(self, tokens):
         _round_trip(KVCacheSpec, "paged", {"block_tokens": tokens})
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(bandwidth=st.floats(min_value=0.0, max_value=1e4,
                                allow_nan=False),
            setup=st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
@@ -180,7 +180,7 @@ class TestSpecRoundTripProperties:
         _round_trip(InterconnectSpec, "pcie",
                     {"gb_per_s": bandwidth, "latency_us": setup})
 
-    @settings(max_examples=50, deadline=None)
+    @settings(max_examples=50)
     @given(bandwidth=_floats,
            setup=st.floats(min_value=0.0, max_value=1e4, allow_nan=False))
     def test_interconnect_nvlink(self, bandwidth, setup):

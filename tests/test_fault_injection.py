@@ -9,7 +9,7 @@ never leak chunks, strand VA reservations, or corrupt the pools.
 import itertools
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.allocators import CachingAllocator, VmmNaiveAllocator
 from repro.core import GMLakeAllocator
@@ -69,8 +69,7 @@ class TestGMLakeFaults:
         assert allocation.rounded_size == 16 * MB
         allocator.check_invariants()
 
-    @settings(max_examples=25, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=25)
     @given(st.sets(st.integers(1, 60), max_size=8))
     def test_random_fault_patterns_never_corrupt(self, fail_calls):
         device = FlakyDevice(capacity=1 * GB, fail_on=fail_calls)

@@ -1,0 +1,150 @@
+"""Metamorphic tests for the serving simulator.
+
+Instead of asserting absolute numbers, each test perturbs one input of
+a fixed-seed run along an axis with a known direction and checks the
+output moves the right way (or doesn't move at all):
+
+- **rate → 0**: an arbitrarily slow arrival stream never rejects,
+  times out or preempts — each request has the machine to itself;
+- **capacity ↑**: growing the device never decreases goodput or
+  completions on the identical stream;
+- **sharing off ≡ baseline**: with no request declaring a prefix, the
+  ref-counted paged path replays byte-identically to the committed
+  pre-refactor golden (the `serve/caching-paged-memaware-mmpp`
+  scenario digest, floats and request lifecycles included);
+- **weight scaling**: WFQ weights ``t0:4,t1:2`` produce the very same
+  schedule as ``t0:2,t1:1`` — only ratios matter — down to identical
+  request-lifecycle digests.
+"""
+
+import json
+from pathlib import Path
+
+from repro.serve import (
+    MultiTenantArrivals,
+    PoissonArrivals,
+    ServingConfig,
+    run_serving,
+)
+from repro.units import GB
+from test_equivalence_goldens import SCENARIOS, _request_digest
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "hotpath_goldens.json"
+
+MODEL = "opt-1.3b"
+
+
+def _serve(stream, capacity=6 * GB, scheduler="memory-aware",
+           timeout_s=60.0, max_batch=16, **kw):
+    return run_serving(
+        stream, MODEL, allocator="caching", capacity=capacity,
+        scheduler=scheduler, kv_cache="paged?block_tokens=16",
+        config=ServingConfig(max_batch=max_batch,
+                             queue_timeout_s=timeout_s), **kw)
+
+
+class TestRateToZero:
+    def test_trickle_arrivals_never_reject_or_preempt(self):
+        """At a vanishing arrival rate every request runs alone on an
+        otherwise idle machine: nothing can queue long enough to time
+        out, and nothing contends for KV memory."""
+        stream = PoissonArrivals(rate_per_s=0.01).generate(20, seed=5)
+        report = _serve(stream, capacity=4 * GB, timeout_s=5.0).report()
+        assert report.completed == 20
+        assert report.rejected == 0
+        assert report.preemptions == 0
+
+    def test_trickle_holds_under_prefix_sharing_too(self):
+        stream = MultiTenantArrivals(
+            tenants=4, rate_per_s=0.01, shared_prefix_tokens=256,
+        ).generate(20, seed=5)
+        result = run_serving(
+            stream, MODEL, allocator="caching", capacity=4 * GB,
+            kv_cache="paged-shared",
+            config=ServingConfig(max_batch=16, queue_timeout_s=5.0))
+        report = result.report()
+        assert report.completed == 20
+        assert report.rejected == 0
+        assert report.preemptions == 0
+
+
+class TestCapacityMonotonicity:
+    def test_more_memory_never_hurts_goodput(self):
+        """The identical arrival stream (regenerated per run — the
+        simulator mutates requests) on a growing device: completions
+        and goodput are non-decreasing in capacity."""
+        completions, goodputs = [], []
+        for capacity in (4 * GB, 6 * GB, 8 * GB):
+            stream = PoissonArrivals(rate_per_s=6.0).generate(60, seed=7)
+            report = _serve(stream, capacity=capacity, timeout_s=10.0,
+                            max_batch=32).report()
+            completions.append(report.completed)
+            goodputs.append(report.goodput_req_s)
+        assert completions == sorted(completions)
+        assert goodputs == sorted(goodputs)
+
+    def test_more_memory_never_hurts_multi_tenant_goodput(self):
+        completions = []
+        for capacity in (4 * GB, 8 * GB):
+            stream = MultiTenantArrivals(
+                tenants=4, rate_per_s=8.0, shared_prefix_tokens=256,
+            ).generate(60, seed=7)
+            result = run_serving(
+                stream, MODEL, allocator="caching", capacity=capacity,
+                kv_cache="paged-shared", scheduler="wfq",
+                config=ServingConfig(max_batch=32, queue_timeout_s=10.0))
+            completions.append(result.report().completed)
+        assert completions == sorted(completions)
+
+
+class TestSharingOffIsByteIdentical:
+    def test_paged_golden_unchanged_by_refactor(self):
+        """The ref-count refactor of ``PagedKVCache`` must be invisible
+        when nothing shares: re-run the committed paged golden scenario
+        and compare the full digest — counters, float timings and the
+        MD5 over every request lifecycle."""
+        goldens = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        name = "serve/caching-paged-memaware-mmpp"
+        assert SCENARIOS[name]() == goldens[name]
+
+    def test_shared_cache_without_prefixes_matches_plain_paged(self):
+        """paged-shared degenerates to paged when no request declares
+        a prefix: identical request lifecycles, identical KV ledger."""
+        digests, ledgers = [], []
+        for kv_cache in ("paged?block_tokens=16",
+                         "paged-shared?block_tokens=16"):
+            stream = PoissonArrivals(rate_per_s=6.0).generate(50, seed=11)
+            result = run_serving(
+                stream, MODEL, allocator="caching", capacity=4 * GB,
+                scheduler="memory-aware", kv_cache=kv_cache,
+                config=ServingConfig(max_batch=16, queue_timeout_s=60.0))
+            digests.append(_request_digest(result.requests))
+            m = result.kv_metrics
+            ledgers.append((m.kv_allocs, m.kv_frees, m.peak_kv_bytes,
+                            m.peak_blocks, m.preempt_copy_bytes))
+        assert digests[0] == digests[1]
+        assert ledgers[0] == ledgers[1]
+
+
+class TestWeightScaleInvariance:
+    def _run(self, weights):
+        stream = MultiTenantArrivals(
+            tenants=2, rate_per_s=10.0, shared_prefix_tokens=0,
+        ).generate(60, seed=13)
+        return run_serving(
+            stream, MODEL, allocator="caching", capacity=6 * GB,
+            scheduler=f"wfq?weights={weights}",
+            kv_cache="paged?block_tokens=16",
+            config=ServingConfig(max_batch=4, queue_timeout_s=10.0))
+
+    def test_scaled_weights_schedule_identically(self):
+        baseline = self._run("t0:2,t1:1")
+        scaled = self._run("t0:4,t1:2")
+        assert (_request_digest(baseline.requests)
+                == _request_digest(scaled.requests))
+
+    def test_duplicate_identical_weights_collapse(self):
+        baseline = self._run("t0:2,t1:1")
+        duplicated = self._run("t0:2,t1:1,t0:2")
+        assert (_request_digest(baseline.requests)
+                == _request_digest(duplicated.requests))

@@ -11,7 +11,7 @@ import math
 import random
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.obs import QuantileSketch
 from repro.serve.metrics import percentile
@@ -105,8 +105,7 @@ class TestBasics:
 
 class TestAccuracy:
     @given(st.lists(floats, min_size=1, max_size=2000))
-    @settings(max_examples=60, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=60)
     def test_rank_accuracy_random_streams(self, values):
         sketch = QuantileSketch(compression=100)
         sketch.extend(values)
@@ -146,8 +145,7 @@ class TestAccuracy:
 class TestMerge:
     @given(st.lists(floats, min_size=1, max_size=600),
            st.lists(floats, min_size=1, max_size=600))
-    @settings(max_examples=40, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=40)
     def test_merge_commutes_on_rank(self, a, b):
         """merge(A, B) and merge(B, A) both answer within tolerance of
         the exact combined stream (t-digest merging is not bitwise

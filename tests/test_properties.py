@@ -1,7 +1,7 @@
 """Property-based tests: allocator correctness under arbitrary request
 sequences (hypothesis drives alloc/free interleavings)."""
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.allocators import CachingAllocator, VmmNaiveAllocator
 from repro.core import GMLakeAllocator
@@ -16,11 +16,9 @@ STEP = st.tuples(
     st.integers(min_value=0, max_value=10_000),
 )
 
-COMMON_SETTINGS = settings(
-    max_examples=40,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow],
-)
+# Deadline/health-check policy comes from the shared profile in
+# conftest.py; tests only size their example budget.
+COMMON_SETTINGS = settings(max_examples=40)
 
 
 def replay(allocator, steps):

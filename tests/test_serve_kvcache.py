@@ -39,7 +39,7 @@ def churn_stream(n=40, rate=2.0, seed=1):
 
 class TestKVCacheSpec:
     def test_registry_names(self):
-        assert kv_cache_names() == ["chunked", "paged"]
+        assert kv_cache_names() == ["chunked", "paged", "paged-shared"]
         for name, info in KV_CACHE_MODELS.items():
             assert info.name == name
             assert info.params
@@ -56,7 +56,7 @@ class TestKVCacheSpec:
 
     def test_unknown_model_rejected(self):
         with pytest.raises(SpecError, match="unknown KV-cache"):
-            KVCacheSpec.parse("radix?block_tokens=16")
+            KVCacheSpec.parse("slab?block_tokens=16")
 
     def test_unknown_param_rejected(self):
         with pytest.raises(SpecError, match="no parameter"):

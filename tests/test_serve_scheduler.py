@@ -10,11 +10,13 @@ from repro.serve import (
     SchedulerSpec,
     SchedulerView,
     ShortestPromptScheduler,
+    WeightedFairScheduler,
+    parse_tenant_weights,
     resolve_kv_cache,
     resolve_scheduler,
     scheduler_names,
 )
-from repro.serve.request import ServeRequest
+from repro.serve.request import RequestState, ServeRequest
 from repro.units import GB
 from repro.workloads import get_model
 from repro.workloads.inference import kv_bytes
@@ -40,7 +42,7 @@ class TestResolve:
     def test_known_names(self):
         for name in scheduler_names(include_aliases=True):
             assert resolve_scheduler(name).name in (
-                "fcfs", "shortest-prompt", "memory-aware")
+                "fcfs", "shortest-prompt", "memory-aware", "wfq")
 
     def test_unknown_rejected(self):
         with pytest.raises(KeyError):
@@ -159,3 +161,186 @@ class TestSchedulerView:
         assert paged.headroom_bytes() > chunked.headroom_bytes()
         free = paged.kv.free_blocks(allocator.stats(), paged.capacity)
         assert free * paged.kv.block_bytes == paged.headroom_bytes()
+
+
+def tenant_request(req_id, tenant, prompt=256, output=128, arrival=0.0):
+    return ServeRequest(req_id=req_id, arrival_s=arrival,
+                        prompt_tokens=prompt, output_tokens=output,
+                        tenant=tenant)
+
+
+def _drain(scheduler, queue, view, rounds):
+    """Run the select/admit loop ``rounds`` times, admitting every
+    selection (state -> RUNNING), and return the tenant order."""
+    order = []
+    for _ in range(rounds):
+        request = scheduler.select(queue, view)
+        if request is None:
+            break
+        request.state = RequestState.RUNNING
+        queue.remove(request)
+        order.append(request.tenant)
+    return order
+
+
+class TestParseTenantWeights:
+    def test_pairs(self):
+        assert parse_tenant_weights("t0:2,t1:1") == {"t0": 2.0, "t1": 1.0}
+
+    def test_bare_positional(self):
+        assert parse_tenant_weights("2,1") == {"t0": 2.0, "t1": 1.0}
+
+    def test_empty(self):
+        assert parse_tenant_weights("") == {}
+
+    def test_identical_duplicate_collapses(self):
+        assert parse_tenant_weights("t0:2,t0:2") == {"t0": 2.0}
+
+    def test_conflicting_duplicate_rejected(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="conflicting"):
+            parse_tenant_weights("t0:2,t0:3")
+
+    def test_non_numeric_rejected(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="must be a number"):
+            parse_tenant_weights("t0:lots")
+
+    def test_non_positive_rejected(self):
+        from repro.api import SpecError
+
+        with pytest.raises(SpecError, match="positive"):
+            parse_tenant_weights("t0:0")
+
+    def test_spec_roundtrip(self):
+        scheduler = resolve_scheduler("wfq?weights=t0:2,t1:1")
+        assert isinstance(scheduler, WeightedFairScheduler)
+        assert scheduler.weights == {"t0": 2.0, "t1": 1.0}
+
+
+class TestWeightedFair:
+    def test_equal_weights_alternate(self):
+        view, _ = view_on()
+        queue = ([tenant_request(i, "a") for i in range(4)]
+                 + [tenant_request(10 + i, "b") for i in range(4)])
+        order = _drain(WeightedFairScheduler(), queue, view, 8)
+        assert order == ["a", "b", "a", "b", "a", "b", "a", "b"]
+
+    def test_two_to_one_service_ratio(self):
+        view, _ = view_on()
+        queue = ([tenant_request(i, "a") for i in range(30)]
+                 + [tenant_request(100 + i, "b") for i in range(30)])
+        order = _drain(
+            WeightedFairScheduler(weights="a:2,b:1"), queue, view, 30)
+        assert order.count("a") == 20
+        assert order.count("b") == 10
+
+    def test_weight_scaling_gives_identical_schedule(self):
+        """Only weight *ratios* matter: 4:2 schedules exactly like 2:1."""
+        orders = []
+        for weights in ("a:2,b:1", "a:4,b:2"):
+            view, _ = view_on()
+            queue = ([tenant_request(i, "a") for i in range(30)]
+                     + [tenant_request(100 + i, "b") for i in range(30)])
+            orders.append(_drain(
+                WeightedFairScheduler(weights=weights), queue, view, 60))
+        assert orders[0] == orders[1]
+
+    def test_failed_admission_costs_nothing(self):
+        """A selection bounced by the allocator (state never leaves
+        QUEUED) is not charged to its tenant's virtual time."""
+        view, _ = view_on()
+        scheduler = WeightedFairScheduler()
+        queue = [tenant_request(0, "a"), tenant_request(1, "b")]
+        first = scheduler.select(queue, view)
+        assert first.tenant == "a"        # vtime tie -> req_id order
+        # Admission failed: the simulator requeues it still QUEUED.
+        again = scheduler.select(queue, view)
+        assert again is first             # uncharged, "a" still cheapest
+        assert scheduler._vtime.get("a", 0.0) == 0.0
+
+    def test_new_tenant_joins_at_current_floor(self):
+        """A tenant first seen mid-run gets no banked credit for the
+        time before it existed."""
+        view, _ = view_on()
+        scheduler = WeightedFairScheduler()
+        queue = [tenant_request(i, "a") for i in range(6)]
+        _drain(scheduler, queue, view, 4)
+        assert scheduler._vtime["a"] > 0.0
+        queue.append(tenant_request(100, "b"))
+        scheduler.select(queue, view)
+        assert scheduler._vtime["b"] == scheduler._vtime["a"]
+
+    def test_fcfs_within_tenant(self):
+        view, _ = view_on()
+        queue = [tenant_request(3, "a", arrival=0.3),
+                 tenant_request(1, "a", arrival=0.1),
+                 tenant_request(2, "a", arrival=0.2)]
+        order = []
+        scheduler = WeightedFairScheduler()
+        for _ in range(3):
+            request = scheduler.select(queue, view)
+            request.state = RequestState.RUNNING
+            queue.remove(request)
+            order.append(request.req_id)
+        assert order == [3, 1, 2]         # queue order, never reshuffled
+
+
+class TestWfqFairnessEndToEnd:
+    """Fleet-level fairness: the scheduler inside the real simulator."""
+
+    MODEL = "opt-1.3b"
+
+    @staticmethod
+    def _stream(per_tenant, weights_tenants=("a", "b"), stagger_s=0.0):
+        requests = []
+        for k, tenant in enumerate(weights_tenants):
+            for i in range(per_tenant):
+                requests.append(ServeRequest(
+                    req_id=k * 1000 + i,
+                    arrival_s=k * stagger_s,
+                    prompt_tokens=256, output_tokens=128,
+                    tenant=tenant))
+        return requests
+
+    def _run(self, scheduler, requests, timeout_s=60.0, max_batch=4):
+        from repro.serve import ServingConfig, run_serving
+
+        return run_serving(
+            requests, self.MODEL, allocator="caching", capacity=8 * GB,
+            scheduler=scheduler, kv_cache="paged?block_tokens=16",
+            config=ServingConfig(max_batch=max_batch,
+                                 queue_timeout_s=timeout_s))
+
+    def test_saturated_2to1_weights_give_2to1_goodput(self):
+        """Under saturation (a timeout rejects the excess), completed
+        token share lands within tolerance of the 2:1 weights."""
+        result = self._run("wfq?weights=a:2,b:1",
+                           self._stream(per_tenant=40), timeout_s=2.0)
+        tokens = {"a": 0, "b": 0}
+        for request in result.requests:
+            if request.finished:
+                tokens[request.tenant] += request.tokens_done
+        assert result.report().rejected > 0   # genuinely saturated
+        assert tokens["b"] > 0
+        ratio = tokens["a"] / tokens["b"]
+        assert 1.6 <= ratio <= 2.5
+
+    def test_wfq_bounds_late_tenant_ttft_vs_fcfs(self):
+        """Tenant b arrives behind tenant a's 40-request flood: FCFS
+        makes b wait out the whole backlog, WFQ interleaves it."""
+        from repro.serve import percentile
+
+        def p99_ttft(scheduler):
+            stream = self._stream(per_tenant=40, stagger_s=0.5)
+            stream = [r for r in stream if r.tenant == "a"] + \
+                     [r for r in stream if r.tenant == "b"][:5]
+            result = self._run(scheduler, stream, max_batch=2)
+            waits = [r.ttft_s for r in result.requests
+                     if r.tenant == "b" and r.finished]
+            assert len(waits) == 5
+            return percentile(waits, 99.0)
+
+        assert p99_ttft("wfq") < p99_ttft("fcfs")
