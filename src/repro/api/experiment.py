@@ -119,6 +119,11 @@ class ServingSpec:
     - ``trace`` — an optional trace-export sink for the request
       lifecycle (``"chrome?path=trace.json"``, ``"jsonl?path=t.jsonl"``;
       empty disables tracing);
+    - ``faults`` — the replica fault model (``"none"``,
+      ``"replica-crash?mtbf_s=120&mttr_s=10"``, ``"straggler"``,
+      ``"link-degrade?factor=4"``);
+    - ``retry`` — what the front-end does about faults (``"none"``,
+      ``"budget?max=3&backoff_s=0.25"``, ``"hedge?after_s=2"``);
     - ``disagg`` — an optional :class:`DisaggSpec` block (also
       accepted as its dict form in JSON) switching the run to a
       disaggregated prefill/decode topology; mutually exclusive with
@@ -160,6 +165,8 @@ class ServingSpec:
     arrivals: str = ""                # full arrival spec; "" -> legacy fields
     preemption: str = "recompute"
     autoscaler: str = "none"
+    faults: str = "none"              # replica fault model
+    retry: str = "none"               # retry / hedging policy
     trace: str = ""                   # trace sink spec; "" -> no tracing
     gauge_every_s: float = 0.0        # gauge stride; 0 -> no gauges
     streaming: bool = False           # sketch-backed report percentiles
@@ -171,6 +178,7 @@ class ServingSpec:
         from repro.obs.trace import TraceSpec
         from repro.serve.arrivals import ArrivalSpec
         from repro.serve.autoscale import AutoscalerSpec
+        from repro.serve.faults import FaultsSpec, RetrySpec
         from repro.serve.kvcache import KVCacheSpec
         from repro.serve.preemption import PreemptionSpec
         from repro.serve.scheduler import SchedulerSpec
@@ -181,7 +189,9 @@ class ServingSpec:
         for attr, spec_cls in (("kv_cache", KVCacheSpec),
                                ("scheduler", SchedulerSpec),
                                ("preemption", PreemptionSpec),
-                               ("autoscaler", AutoscalerSpec)):
+                               ("autoscaler", AutoscalerSpec),
+                               ("faults", FaultsSpec),
+                               ("retry", RetrySpec)):
             object.__setattr__(
                 self, attr, spec_cls.parse(getattr(self, attr)).spec_string())
         if self.prefix_sharing:
@@ -476,6 +486,7 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
             autoscaler=serving.autoscaler,
             interconnect=serving.disagg.interconnect,
             trace=recorder, gauges=gauges,
+            faults=serving.faults, retry=serving.retry,
         )
         outcome = ExperimentResult.from_serve_disagg(
             result, slo=serving.slo(), label=allocator.label,
@@ -487,6 +498,7 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
             scheduler=serving.scheduler, config=config,
             kv_cache=serving.kv_cache, preemption=serving.preemption,
             autoscaler=serving.autoscaler, trace=recorder, gauges=gauges,
+            faults=serving.faults, retry=serving.retry,
         )
         outcome = ExperimentResult.from_serve_cluster(
             result, slo=serving.slo(), label=allocator.label,
@@ -497,6 +509,7 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
             capacity=spec.capacity, scheduler=serving.scheduler,
             config=config, kv_cache=serving.kv_cache,
             preemption=serving.preemption, trace=recorder, gauges=gauges,
+            faults=serving.faults, retry=serving.retry,
         )
         outcome = ExperimentResult.from_serving(
             result, slo=serving.slo(), label=allocator.label,

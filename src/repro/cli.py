@@ -82,6 +82,7 @@ from repro.serve import (
     KV_CACHE_MODELS,
     ArrivalSpec,
     AutoscalerSpec,
+    FaultsSpec,
     InterconnectSpec,
     KVCacheSpec,
     LengthSampler,
@@ -89,6 +90,7 @@ from repro.serve import (
     PoissonArrivals,
     PreemptionSpec,
     ReplayArrivals,
+    RetrySpec,
     SchedulerSpec,
     ServingConfig,
     SloConfig,
@@ -364,6 +366,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     preemption_spec = PreemptionSpec.parse(args.preemption)
     autoscaler_spec = AutoscalerSpec.parse(args.autoscaler)
     interconnect_spec = InterconnectSpec.parse(args.interconnect)
+    faults_spec = FaultsSpec.parse(args.faults)
+    retry_spec = RetrySpec.parse(args.retry)
     if args.disagg and args.gpus > 1:
         print("serve: --disagg sizes its fleets with --prefill-replicas/"
               "--decode-replicas; drop --gpus", file=sys.stderr)
@@ -402,7 +406,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 config=config, kv_cache=kv_spec,
                 preemption=preemption_spec, autoscaler=autoscaler_spec,
                 interconnect=interconnect_spec, trace=recorder,
-                gauges=gauges)
+                gauges=gauges, faults=faults_spec, retry=retry_spec)
             if gauges is not None:
                 gauge_points.extend(result.gauge_points)
         elif args.gpus > 1:
@@ -411,14 +415,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 capacity=args.capacity, scheduler=scheduler_spec,
                 config=config, kv_cache=kv_spec,
                 preemption=preemption_spec, autoscaler=autoscaler_spec,
-                trace=recorder, gauges=gauges)
+                trace=recorder, gauges=gauges, faults=faults_spec,
+                retry=retry_spec)
             if gauges is not None:
                 gauge_points.extend(result.gauge_points)
         else:
             result = run_serving(
                 stream, args.model, allocator=spec, capacity=args.capacity,
                 scheduler=scheduler_spec, config=config, kv_cache=kv_spec,
-                preemption=preemption_spec, trace=recorder, gauges=gauges)
+                preemption=preemption_spec, trace=recorder, gauges=gauges,
+                faults=faults_spec, retry=retry_spec)
             if gauges is not None:
                 gauge_points.extend(result.gauges)
         reports[spec.label] = result.report(slo, streaming=args.streaming)
@@ -453,6 +459,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
              f"kv={kv_spec.label}, preemption={preemption_spec.label}")
     if autoscaler_spec.name != "none" and (args.gpus > 1 or args.disagg):
         title += f", autoscaler={autoscaler_spec.label}"
+    if faults_spec.name != "none":
+        title += f", faults={faults_spec.label}"
+    if retry_spec.name != "none":
+        title += f", retry={retry_spec.label}"
     print(format_serving_summary(reports, title=title, slo=slo))
     for table in tenant_tables:
         print()
@@ -530,16 +540,17 @@ def cmd_list_components(args: argparse.Namespace) -> int:
     # the allocator kind registers with repro.api.
     kinds = component_kinds()
     if args.kind:
-        if args.kind not in kinds:
-            # Print the kind catalogue with the error so the fix is one
-            # copy-paste away.
-            catalogue = "\n".join(
-                f"  {kind:<12} {kind_label(kind)}"
-                for kind in sorted(kinds))
-            print(f"unknown component kind {args.kind!r}; known kinds:\n"
-                  f"{catalogue}", file=sys.stderr)
-            return 2
-        kinds = [args.kind]
+        for requested in args.kind:
+            if requested not in kinds:
+                # Print the kind catalogue with the error so the fix is
+                # one copy-paste away.
+                catalogue = "\n".join(
+                    f"  {kind:<12} {kind_label(kind)}"
+                    for kind in sorted(kinds))
+                print(f"unknown component kind {requested!r}; known "
+                      f"kinds:\n{catalogue}", file=sys.stderr)
+                return 2
+        kinds = list(args.kind)
     for kind in kinds:
         rows = [
             {
@@ -725,6 +736,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="prefill fleet size (with --disagg)")
     p.add_argument("--decode-replicas", type=int, default=1,
                    help="decode fleet size (with --disagg)")
+    p.add_argument("--faults", default="none",
+                   help="replica fault model spec, e.g. "
+                        "'replica-crash?mtbf_s=120&mttr_s=10', "
+                        "'straggler?slowdown=4&prob=0.1', "
+                        "'link-degrade?factor=4'")
+    p.add_argument("--retry", default="none",
+                   help="retry policy spec, e.g. 'budget?max=3&"
+                        "backoff_s=0.25' or 'hedge?after_s=2' "
+                        "(hedging needs --gpus >= 2)")
     p.add_argument("--interconnect", default="pcie",
                    help="interconnect spec pricing KV migration, e.g. "
                         "'pcie?gb_per_s=24' or 'nvlink?gb_per_s=300"
@@ -774,8 +794,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list every registered component kind "
                             "(allocators, KV caches, schedulers, arrivals, "
                             "preemption, autoscalers)")
-    p.add_argument("--kind", default="",
-                   help="only this kind (e.g. scheduler, preemption)")
+    p.add_argument("--kind", action="append", default=None,
+                   help="only this kind (e.g. scheduler, preemption); "
+                        "repeatable")
     p.set_defaults(func=cmd_list_components)
     return parser
 

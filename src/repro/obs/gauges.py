@@ -49,6 +49,12 @@ class GaugePoint:
     kv_shared_blocks:
         Resident shared prefix blocks held by a prefix-sharing KV
         cache (0 for models without sharing).
+    replicas_down:
+        Fleet-wide count of crashed (not yet recovered) replicas at
+        the sample instant, per the crash/recover notes the fault
+        model feeds through :meth:`GaugeSampler.note_crash` /
+        :meth:`GaugeSampler.note_recover` (always 0 with
+        ``faults=none``).
     """
 
     t_s: float
@@ -63,6 +69,7 @@ class GaugePoint:
     kv_utilization: float
     active_replicas: int = 1
     kv_shared_blocks: int = 0
+    replicas_down: int = 0
 
 
 class GaugeSampler:
@@ -85,6 +92,9 @@ class GaugeSampler:
         #: series per phase, e.g. "prefill" / "decode").
         self.fleet_points: Dict[str, List[Tuple[float, int]]] = {}
         self._due: Dict[int, float] = {}
+        #: (t_s, down count) change points from crash/recover notes.
+        self.down_points: List[Tuple[float, int]] = []
+        self._down: set = set()
 
     # ------------------------------------------------------------------
     def poll(self, simulator, queue, running) -> None:
@@ -121,9 +131,20 @@ class GaugeSampler:
             kv_utilization=utilization if utilization is not None else 1.0,
             active_replicas=self._active_at(simulator.session.elapsed_s),
             kv_shared_blocks=getattr(kv, "shared_live_blocks", 0),
+            replicas_down=len(self._down),
         )
         self.points.append(point)
         return point
+
+    def note_crash(self, t_s: float, replica: int) -> None:
+        """Record that ``replica`` went down at ``t_s``."""
+        self._down.add(replica)
+        self.down_points.append((t_s, len(self._down)))
+
+    def note_recover(self, t_s: float, replica: int) -> None:
+        """Record that ``replica`` came back at ``t_s``."""
+        self._down.discard(replica)
+        self.down_points.append((t_s, len(self._down)))
 
     def note_active_replicas(self, t_s: float, active: int,
                              fleet: Optional[str] = None) -> None:

@@ -70,17 +70,22 @@ FRONTEND_REPLICA = -1
 #: Request-lifecycle event kinds, in the order a request meets them.
 #: ``migrate_out`` / ``migrate_in`` only occur in disaggregated
 #: prefill/decode serving, when a request's KV leaves its prefill
-#: replica and lands on its decode replica.
+#: replica and lands on its decode replica.  ``retry`` marks a crash
+#: victim handed back to the fleet (fault injection), ``hedge`` a
+#: duplicate dispatched to another replica by the hedging retry
+#: policy.
 REQUEST_EVENT_KINDS = (
     "arrival", "admit", "cow_copy", "first_token", "migrate_out",
-    "migrate_in", "preempt", "finish", "reject",
+    "migrate_in", "preempt", "retry", "hedge", "finish", "reject",
 )
 
 #: Allocator / front-end / KV-cache event kinds.  ``kv_shared``
 #: samples the resident shared-block count of a prefix-sharing KV
-#: cache (rendered as a counter track, like ``memory``).
+#: cache (rendered as a counter track, like ``memory``).  ``crash``
+#: / ``recover`` bracket a replica's fault-injected downtime (and
+#: drive the fleet-wide "down replicas" counter track).
 SYSTEM_EVENT_KINDS = ("memory", "oom", "empty_cache", "autoscale",
-                      "kv_shared")
+                      "kv_shared", "crash", "recover")
 
 
 @dataclass(frozen=True)
@@ -215,6 +220,16 @@ class TraceRecorder:
                         # migrate_out ends the request's life on this
                         # replica; its finish event closes nothing.
                         open_name = None
+                elif event.kind == "retry":
+                    # A crash took the request off this replica; it
+                    # re-enters some replica's queue after its backoff
+                    # (a later admit there opens the next span).
+                    if open_name is not None:
+                        close(key, open_name, open_start, event.t_s)
+                    open_name = None
+                elif event.kind == "hedge":
+                    # The duplicate joins its target replica's queue.
+                    open_name, open_start = "queued", event.t_s
                 elif event.kind in ("finish", "reject"):
                     if open_name is not None:
                         close(key, open_name, open_start, event.t_s)
@@ -234,6 +249,7 @@ class TraceRecorder:
         """
         events: List[Dict[str, Any]] = []
         pids: Dict[int, int] = {}
+        replicas_down = 0
 
         def pid_of(replica: int) -> int:
             if replica not in pids:
@@ -275,9 +291,27 @@ class TraceRecorder:
                     "pid": pid, "tid": 0,
                     "args": {"blocks": event.args.get("blocks", 0)},
                 })
+            elif event.kind in ("crash", "recover"):
+                # Instant on the replica's own lane, plus the running
+                # fleet-wide "down replicas" counter on the front-end
+                # process (crash/recover events arrive time-sorted, so
+                # the +1/-1 walk reconstructs the count exactly).
+                replicas_down += 1 if event.kind == "crash" else -1
+                events.append({
+                    "name": event.kind, "cat": "event", "ph": "i",
+                    "ts": ts, "pid": pid, "tid": 0, "s": "p",
+                    "args": {k: v for k, v in event.args.items()
+                             if isinstance(v, (int, float, str, bool))},
+                })
+                events.append({
+                    "name": "down replicas", "ph": "C", "ts": ts,
+                    "pid": pid_of(FRONTEND_REPLICA), "tid": 0,
+                    "args": {"down": max(replicas_down, 0)},
+                })
             elif event.kind in ("oom", "empty_cache", "first_token",
                                 "migrate_out", "migrate_in",
-                                "preempt", "reject", "cow_copy"):
+                                "preempt", "reject", "cow_copy",
+                                "retry", "hedge"):
                 args = {k: v for k, v in event.args.items()
                         if isinstance(v, (int, float, str, bool))}
                 events.append({

@@ -15,8 +15,9 @@ Every pluggable policy here is a **registered component** addressable
 by the same ``"name?key=value"`` mini-DSL as allocators (see
 ``repro list-components``): KV-cache models (``kv-cache``), admission
 schedulers (``scheduler``), arrival processes (``arrivals``),
-preemption policies (``preemption``), autoscalers (``autoscaler``)
-and trace-export sinks (``trace``, from :mod:`repro.obs`).
+preemption policies (``preemption``), autoscalers (``autoscaler``),
+fault models (``faults``), retry policies (``retry``) and
+trace-export sinks (``trace``, from :mod:`repro.obs`).
 
 Observability is opt-in and passive: pass a
 :class:`repro.obs.TraceRecorder` and/or :class:`repro.obs.GaugeSampler`
@@ -48,6 +49,10 @@ Layout
   multi-replica front-end (``none`` / ``queue-depth``).
 - :mod:`repro.serve.interconnect` — modeled links (``pcie`` /
   ``nvlink``) pricing KV movement for swap offload and migration.
+- :mod:`repro.serve.faults`     — replica fault models
+  (``replica-crash`` / ``straggler`` / ``link-degrade``) and retry
+  policies (``budget`` backoff / ``hedge``) for fault-tolerant
+  serving.
 - :mod:`repro.serve.simulator`  — the single-replica event loop.
 - :mod:`repro.serve.metrics`    — SLO metrics and the serving report
   (exact or streaming via :mod:`repro.obs.sketch`).
@@ -93,6 +98,27 @@ from repro.serve.cluster import (
     run_serving_cluster,
 )
 from repro.serve.disagg import DisaggServingResult, run_serving_disagg
+from repro.serve.faults import (
+    BudgetRetry,
+    CrashSchedule,
+    DegradedInterconnect,
+    FaultModel,
+    FaultsLike,
+    FaultsSpec,
+    HedgeRetry,
+    LinkDegradeFaults,
+    NoFaults,
+    NoRetry,
+    ReplicaCrashFaults,
+    RetryLike,
+    RetryPolicy,
+    RetrySpec,
+    StragglerFaults,
+    faults_names,
+    resolve_faults,
+    resolve_retry,
+    retry_names,
+)
 from repro.serve.interconnect import (
     Interconnect,
     InterconnectLike,
@@ -223,4 +249,23 @@ __all__ = [
     "resolve_interconnect",
     "DisaggServingResult",
     "run_serving_disagg",
+    "FaultModel",
+    "FaultsLike",
+    "FaultsSpec",
+    "NoFaults",
+    "ReplicaCrashFaults",
+    "StragglerFaults",
+    "LinkDegradeFaults",
+    "CrashSchedule",
+    "DegradedInterconnect",
+    "RetryPolicy",
+    "RetryLike",
+    "RetrySpec",
+    "NoRetry",
+    "BudgetRetry",
+    "HedgeRetry",
+    "faults_names",
+    "retry_names",
+    "resolve_faults",
+    "resolve_retry",
 ]

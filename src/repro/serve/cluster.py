@@ -14,6 +14,7 @@ and SLO metrics are computed over the merged request population.
 
 from __future__ import annotations
 
+import copy
 import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
@@ -23,6 +24,8 @@ from repro.api.spec import AllocatorLike
 from repro.obs.gauges import GaugePoint, GaugeSampler
 from repro.obs.trace import FRONTEND_REPLICA, TraceRecorder
 from repro.serve.autoscale import Autoscaler, AutoscalerLike, resolve_autoscaler
+from repro.serve.faults import (FaultModel, FaultsLike, RetryLike,
+                                resolve_faults, resolve_retry)
 from repro.serve.kvcache import KVCacheLike, KVCacheMetrics, KVCacheModel
 from repro.serve.metrics import ServingReport, ServingReportAccumulator, SloConfig
 from repro.serve.preemption import PreemptionLike, PreemptionPolicy
@@ -34,6 +37,42 @@ from repro.units import A100_80GB
 from repro.workloads.models import ModelSpec, get_model
 
 
+class DownCalendar:
+    """Materialized crash windows answering "is replica i down at t?".
+
+    The fault model's window streams are pure functions of (seed,
+    replica), so the front-end and each replica independently derive
+    the *same* schedule — the dispatcher can route around a crash it
+    has not "observed" yet without any causality violation, exactly as
+    a health-checking load balancer would after one probe interval.
+
+    Windows are materialized lazily per replica, but queries may go
+    *backwards* in time (the fleet orchestrator interleaves replicas
+    whose clocks drift apart), so materialized windows are kept and
+    scanned from the tail.
+    """
+
+    def __init__(self, faults: FaultModel, n_replicas: int):
+        self._streams = [faults.crash_windows(i) for i in range(n_replicas)]
+        self._windows: List[List[Tuple[float, float]]] = [
+            [] for _ in range(n_replicas)]
+
+    def down_at(self, replica: int, t_s: float) -> bool:
+        """True when ``replica`` is inside a crash window at ``t_s``."""
+        stream = self._streams[replica]
+        if stream is None:
+            return False
+        windows = self._windows[replica]
+        while not windows or windows[-1][1] <= t_s:
+            windows.append(next(stream))
+        for start_s, end_s in reversed(windows):
+            if end_s <= t_s:
+                return False
+            if start_s <= t_s:
+                return True
+        return False
+
+
 def dispatch_requests(
     requests: Iterable[ServeRequest],
     n_replicas: int,
@@ -42,6 +81,7 @@ def dispatch_requests(
     gauges: Optional[GaugeSampler] = None,
     trace: Optional[TraceRecorder] = None,
     fleet: Optional[str] = None,
+    down: Optional[DownCalendar] = None,
 ) -> List[List[ServeRequest]]:
     """Split one arrival stream into per-replica streams.
 
@@ -66,6 +106,12 @@ def dispatch_requests(
     ``"decode"`` fleet independently): change points are then tagged
     with the fleet so per-phase size series stay separable.  ``None``
     (colocated serving) is byte-identical to the original behaviour.
+
+    ``down`` makes dispatch health-aware: replicas inside a crash
+    window at the arrival instant are excluded from the candidate set
+    (falling back to every active replica when *all* are down, so no
+    arrival is ever dropped at the front door).  ``None`` keeps the
+    original dispatch, bit for bit.
     """
     if n_replicas < 1:
         raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
@@ -103,7 +149,13 @@ def dispatch_requests(
                                  replica=FRONTEND_REPLICA, active=active,
                                  fleet=fleet)
             noted = active
-        target = min(range(active), key=lambda i: (backlog[i], i))
+        if down is None:
+            candidates: Iterable[int] = range(active)
+        else:
+            healthy = [i for i in range(active)
+                       if not down.down_at(i, request.arrival_s)]
+            candidates = healthy if healthy else range(active)
+        target = min(candidates, key=lambda i: (backlog[i], i))
         backlog[target] += float(request.total_tokens)
         shards[target].append(request)
     return shards
@@ -229,6 +281,12 @@ class ServeClusterResult(WorstMemberRunResult):
         if self.autoscaler_name != "none":
             out["autoscaler"] = self.autoscaler_name
             out["active_replicas"] = self.active_replicas
+        retries = sum(r.retries for r in self.replicas)
+        failed = sum(r.failed for r in self.replicas)
+        if retries:
+            out["retries"] = retries
+        if failed:
+            out["failed"] = failed
         merged = self.kv_metrics
         if merged is not None:
             out["kv_internal_frag"] = round(merged.internal_frag_ratio, 3)
@@ -287,6 +345,112 @@ class ServeClusterResult(WorstMemberRunResult):
         return f"{self.n_replicas} replicas: {report.summary()}"
 
 
+def _co_simulate(
+    sims: List[ServingSimulator],
+    calendar: Optional[DownCalendar],
+    retry_policy,
+    trace: Optional[TraceRecorder],
+) -> None:
+    """Advance a fleet of *started* simulators on interleaved clocks.
+
+    The fault-free fleet runs replicas to completion one after another
+    (they never interact).  Under faults they do interact — a crashed
+    replica's work re-enters the dispatcher and lands elsewhere, and a
+    hedging front-end duplicates stragglers onto healthy peers — so
+    this orchestrator single-steps whichever busy replica's clock is
+    furthest behind, keeping every cross-replica hand-off causal: a
+    request re-dispatched at ``ready_s`` is injected before any peer's
+    clock passes ``ready_s``.
+
+    Fleet failover: each simulator's ``_fault_sink`` routes crash
+    victims (and a crashing replica's queued requests) to the healthy
+    replica with the fewest outstanding requests at the hand-off
+    instant, falling back to the full fleet when everything is down.
+
+    Hedging (``retry_policy.hedge_after_s``): after each tick, requests
+    still un-admitted past the hedge deadline are cloned onto the
+    least-loaded healthy *other* replica; the first copy to finish wins
+    and the loser is cancelled (its KV freed, the object withdrawn from
+    its replica's population), so the merged population keeps exactly
+    one record per request.  A loser that already timed out is likewise
+    withdrawn; if both copies reject, the clone is dropped and the
+    original's rejection stands.
+    """
+    n = len(sims)
+
+    def pick(pool: List[int]) -> int:
+        return min(pool, key=lambda j: (sims[j].outstanding, j))
+
+    def healthy(t_s: float, exclude: Optional[int] = None) -> List[int]:
+        return [j for j in range(n)
+                if j != exclude
+                and (calendar is None or not calendar.down_at(j, t_s))]
+
+    def redispatch(request: ServeRequest, ready_s: float,
+                   failover: bool) -> None:
+        del failover  # routing is identical for victims and drained queues
+        pool = healthy(ready_s) or list(range(n))
+        target = pick(pool)
+        request.replica = target
+        sims[target].inject(request, ready_s)
+
+    for sim in sims:
+        sim._fault_sink = redispatch
+
+    after_s = retry_policy.hedge_after_s
+    hedged: Dict[int, Tuple[ServeRequest, ServeRequest]] = {}
+
+    def consider_hedges(i: int) -> None:
+        sim = sims[i]
+        now = sim.session.elapsed_s
+        for request in list(sim._queue):
+            # Hedge each request at most once, only while it has never
+            # been admitted anywhere (a clean clone carries no KV), and
+            # leave crash-retried requests to the retry path.
+            if (request.req_id in hedged or request.admitted_s is not None
+                    or request.retries or now - request.arrival_s < after_s):
+                continue
+            pool = healthy(now, exclude=i)
+            if not pool:
+                continue
+            target = pick(pool)
+            clone = copy.copy(request)
+            clone.kv_name = None
+            clone.kv_capacity_tokens = 0
+            clone.kv_generation = 0
+            clone.replica = target
+            hedged[request.req_id] = (request, clone)
+            if trace is not None:
+                trace.request_event("hedge", clone, now, source=i,
+                                    target=target)
+            sims[target].inject(clone, now)
+
+    def settle_hedges() -> None:
+        for req_id, (original, clone) in list(hedged.items()):
+            for winner, loser in ((original, clone), (clone, original)):
+                if winner.finished:
+                    if not loser.finished:
+                        sims[loser.replica].cancel(loser)
+                    del hedged[req_id]
+                    break
+            else:
+                if original.rejected and clone.rejected:
+                    # Both copies lost; keep the original's rejection
+                    # as the request's one record.
+                    sims[clone.replica].cancel(clone)
+                    del hedged[req_id]
+
+    while True:
+        busy = [i for i in range(n) if sims[i].busy]
+        if not busy:
+            break
+        i = min(busy, key=lambda j: (sims[j].session.elapsed_s, j))
+        sims[i].tick()
+        if after_s is not None:
+            consider_hedges(i)
+            settle_hedges()
+
+
 def run_serving_cluster(
     requests: Iterable[ServeRequest],
     model: Union[ModelSpec, str],
@@ -300,6 +464,8 @@ def run_serving_cluster(
     autoscaler: AutoscalerLike = "none",
     trace: Optional[TraceRecorder] = None,
     gauges: Optional[GaugeSampler] = None,
+    faults: FaultsLike = "none",
+    retry: RetryLike = "none",
 ) -> ServeClusterResult:
     """Load-balance ``requests`` over ``n_replicas`` single-GPU replicas.
 
@@ -313,6 +479,15 @@ def run_serving_cluster(
     id (front-end events use :data:`~repro.obs.trace.FRONTEND_REPLICA`)
     and gauge points are tagged per replica, so one Chrome trace shows
     the whole fleet as separate processes.
+
+    ``faults`` / ``retry`` (see :mod:`repro.serve.faults`) inject
+    replica failures and drive the recovery policy.  With both at
+    ``"none"`` the fleet runs the original sequential path, bit for
+    bit.  Otherwise dispatch becomes health-aware (crashed replicas
+    are routed around), replicas are co-simulated on interleaved
+    clocks, crash victims fail over to healthy peers through the
+    front-end, and ``hedge`` duplicates stragglers across replicas
+    (see :func:`_co_simulate`).
     """
     if isinstance(kv_cache, KVCacheModel):
         raise ValueError(
@@ -329,18 +504,40 @@ def run_serving_cluster(
     model = get_model(model) if isinstance(model, str) else model
     config = config if config is not None else ServingConfig()
     scaler = resolve_autoscaler(autoscaler)
+    fault_model = resolve_faults(faults)
+    retry_policy = resolve_retry(retry)
+    fault_aware = fault_model.name != "none" or retry_policy.name != "none"
+    calendar = (DownCalendar(fault_model, n_replicas)
+                if fault_model.has_crashes else None)
     shards = dispatch_requests(requests, n_replicas,
                                drain_tokens_per_s=config.decode_tokens_per_s,
-                               autoscaler=scaler, gauges=gauges, trace=trace)
+                               autoscaler=scaler, gauges=gauges, trace=trace,
+                               down=calendar)
     result = ServeClusterResult(autoscaler_name=scaler.name)
     if gauges is not None:
         result.active_replica_points = list(gauges.active_points)
-    for replica_id, shard in enumerate(shards):
-        simulator = ServingSimulator(
+    if not fault_aware:
+        for replica_id, shard in enumerate(shards):
+            simulator = ServingSimulator(
+                model, allocator=allocator, capacity=capacity,
+                scheduler=scheduler, config=config, replica_id=replica_id,
+                kv_cache=kv_cache, preemption=preemption, trace=trace,
+                gauges=gauges,
+            )
+            result.replicas.append(simulator.run(shard))
+        return result
+    sims = [
+        ServingSimulator(
             model, allocator=allocator, capacity=capacity,
             scheduler=scheduler, config=config, replica_id=replica_id,
             kv_cache=kv_cache, preemption=preemption, trace=trace,
-            gauges=gauges,
+            gauges=gauges, faults=fault_model, retry=retry_policy,
         )
-        result.replicas.append(simulator.run(shard))
+        for replica_id in range(n_replicas)
+    ]
+    for sim, shard in zip(sims, shards):
+        sim.start(shard)
+    _co_simulate(sims, calendar, retry_policy, trace)
+    for sim in sims:
+        result.replicas.append(sim.finish())
     return result

@@ -43,6 +43,12 @@ from repro.obs.gauges import GaugePoint, GaugeSampler
 from repro.obs.trace import TraceRecorder
 from repro.serve.autoscale import AutoscalerLike, resolve_autoscaler
 from repro.serve.cluster import dispatch_requests
+from repro.serve.faults import (
+    FaultsLike,
+    RetryLike,
+    resolve_faults,
+    resolve_retry,
+)
 from repro.serve.interconnect import (
     Interconnect,
     InterconnectLike,
@@ -230,6 +236,17 @@ class DisaggServingResult(WorstMemberRunResult):
         return sum(r.preemptions for r in self.requests)
 
     @property
+    def retries(self) -> int:
+        """Crash-forced re-dispatches, summed over both phases."""
+        return sum(r.retries for r in self.requests)
+
+    @property
+    def failed(self) -> int:
+        """Requests rejected permanently by replica faults."""
+        return sum(1 for r in self.requests
+                   if r.reject_reason == "failed")
+
+    @property
     def throughput(self) -> float:
         """Completed original requests per second of makespan."""
         return self.completed / max(self.makespan_s, 1e-9)
@@ -295,6 +312,10 @@ class DisaggServingResult(WorstMemberRunResult):
         }
         if self.autoscaler_name != "none":
             out["autoscaler"] = self.autoscaler_name
+        if self.retries:
+            out["retries"] = self.retries
+        if self.failed:
+            out["failed"] = self.failed
         merged = self.kv_metrics
         if merged is not None:
             out["kv_internal_frag"] = round(merged.internal_frag_ratio, 3)
@@ -362,6 +383,8 @@ def run_serving_disagg(
     interconnect: InterconnectLike = "pcie",
     trace: Optional[TraceRecorder] = None,
     gauges: Optional[GaugeSampler] = None,
+    faults: FaultsLike = "none",
+    retry: RetryLike = "none",
 ) -> DisaggServingResult:
     """Serve ``requests`` on a disaggregated prefill/decode topology.
 
@@ -376,6 +399,16 @@ def run_serving_disagg(
     topology: prefill replicas are ids ``0..P-1``, decode replicas
     ``P..P+D-1``, and per-fleet size series are tagged ``"prefill"`` /
     ``"decode"``.
+
+    ``faults`` / ``retry`` (see :mod:`repro.serve.faults`) apply to
+    every replica of both fleets — crash windows are keyed by the
+    *global* replica id, so the two fleets fail independently — and
+    ``link-degrade`` faults additionally collapse the interconnect's
+    bandwidth, stalling every KV migration.  Recovery is **local** on
+    a disaggregated topology: a crash victim retries on its own
+    replica (its phase's state cannot move mid-flight), and hedging is
+    inert; fleet-level failover is the colocated cluster's behaviour
+    (:func:`~repro.serve.cluster.run_serving_cluster`).
     """
     if prefill_replicas < 1 or decode_replicas < 1:
         raise ValueError(
@@ -395,7 +428,9 @@ def run_serving_disagg(
         )
     model = get_model(model) if isinstance(model, str) else model
     config = config if config is not None else ServingConfig()
-    link = resolve_interconnect(interconnect)
+    fault_model = resolve_faults(faults)
+    retry_policy = resolve_retry(retry)
+    link = fault_model.wrap_interconnect(resolve_interconnect(interconnect))
 
     originals = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
     by_id = {r.req_id: r for r in originals}
@@ -424,7 +459,8 @@ def run_serving_disagg(
             model, allocator=allocator, capacity=capacity,
             scheduler=scheduler, config=config, replica_id=replica_id,
             kv_cache=kv_cache, preemption=preemption, trace=trace,
-            gauges=gauges, interconnect=link,
+            gauges=gauges, faults=fault_model, retry=retry_policy,
+            interconnect=link,
             needs_decode=needs_decode, exported=in_flight,
         )
         result.prefill_results.append(simulator.run(shard))
@@ -456,7 +492,7 @@ def run_serving_disagg(
             scheduler=scheduler, config=config,
             replica_id=prefill_replicas + offset,
             kv_cache=kv_cache, preemption=policy, trace=trace,
-            gauges=gauges,
+            gauges=gauges, faults=fault_model, retry=retry_policy,
         )
         result.decode_results.append(simulator.run(shard))
     result.pending_imports = len(in_flight)
@@ -471,6 +507,7 @@ def run_serving_disagg(
         original.admitted_s = prefill.admitted_s
         original.first_token_s = prefill.first_token_s
         original.tokens_done = prefill.tokens_done
+        original.retries = prefill.retries
         if prefill.admitted_s is not None:
             original.prefill_wait_s = (prefill.admitted_s
                                        - prefill.arrival_s)
@@ -483,9 +520,11 @@ def run_serving_disagg(
             original.finished_s = prefill.finished_s
             original.rejected_s = prefill.rejected_s
             original.reject_reason = prefill.reject_reason
+            original.failed_s = prefill.failed_s
             continue
         original.replica = decode.replica
         original.preemptions = prefill.preemptions + decode.preemptions
+        original.retries = prefill.retries + decode.retries
         original.tokens_done = decode.tokens_done
         if decode.admitted_s is not None:
             original.decode_wait_s = decode.admitted_s - decode.arrival_s
@@ -493,6 +532,7 @@ def run_serving_disagg(
         original.finished_s = decode.finished_s
         original.rejected_s = decode.rejected_s
         original.reject_reason = decode.reject_reason
+        original.failed_s = decode.failed_s
     result.requests = originals
     if gauges is not None:
         result.prefill_fleet_points = gauges.fleet_series("prefill")

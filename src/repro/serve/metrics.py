@@ -168,6 +168,17 @@ class ServingReport:
     migrated_mb: float = 0.0
     prefill_wait_s: float = 0.0
     decode_wait_s: float = 0.0
+    # Fault accounting (all zero / 1.0 with ``faults="none"``).
+    # ``failed`` counts permanent fault rejections (``reject_reason ==
+    # "failed"``) — disjoint from ``timed_out`` by the closed reject
+    # taxonomy; ``retries`` sums crash-forced re-dispatches;
+    # ``availability`` is the fraction of requests *not* lost to
+    # faults; ``failed_req_s`` is the goodput lost to faults (failed
+    # requests per second of makespan).
+    retries: int = 0
+    failed: int = 0
+    availability: float = 1.0
+    failed_req_s: float = 0.0
     # True when percentiles came from a streaming sketch rather than
     # exact sorted sample lists.
     streaming: bool = False
@@ -202,6 +213,8 @@ class ServingReport:
                               migrated_mb=migrated_mb)
         population: List[ServeRequest] = list(requests)
         done = [r for r in population if r.finished]
+        failed = sum(1 for r in population
+                     if r.rejected and r.reject_reason == "failed")
         ttfts = [r.ttft_s for r in done if r.ttft_s is not None]
         tpots = [r.tpot_s for r in done if r.tpot_s is not None]
         latencies = [r.latency_s for r in done if r.latency_s is not None]
@@ -253,6 +266,11 @@ class ServingReport:
             migrated_mb=migrated_mb,
             prefill_wait_s=mean_prefill_wait,
             decode_wait_s=mean_decode_wait,
+            retries=sum(r.retries for r in population),
+            failed=failed,
+            availability=((len(population) - failed) / len(population)
+                          if population else 1.0),
+            failed_req_s=failed / span,
         )
 
     # ------------------------------------------------------------------
@@ -263,6 +281,8 @@ class ServingReport:
             "done": self.completed,
             "rej": self.rejected,
             "timeout": self.timed_out,
+            "failed": self.failed,
+            "retry": self.retries,
             "preempt": self.preemptions,
             "TTFT p50 (ms)": round(self.p50_ttft_s * 1e3, 1),
             "TPOT (ms)": round(self.mean_tpot_s * 1e3, 2),
@@ -275,10 +295,12 @@ class ServingReport:
             "util": round(self.utilization, 3),
             "RM (GB)": round(self.peak_reserved_gb, 2),
             "migrated (MB)": round(self.migrated_mb, 1),
+            "avail %": round(self.availability * 100.0, 1),
         }
 
     def summary(self) -> str:
         """One-line report, mirroring ``EngineResult.summary``."""
+        faults = (f" avail={self.availability:.1%}" if self.failed else "")
         return (
             f"{self.completed}/{self.n_requests} done "
             f"({self.rejected} rejected, {self.preemptions} preemptions) "
@@ -286,6 +308,7 @@ class ServingReport:
             f"p99 lat={self.p99_latency_s:.2f}s "
             f"goodput={self.goodput_req_s:.2f} req/s "
             f"util={self.utilization:.1%}"
+            f"{faults}"
         )
 
 
@@ -307,6 +330,8 @@ class ServingReportAccumulator:
         self.completed = 0
         self.rejected = 0
         self.timed_out = 0
+        self.failed = 0
+        self.retries = 0
         self.preemptions = 0
         self.slo_met = 0
         self.tokens_out = 0
@@ -328,6 +353,7 @@ class ServingReportAccumulator:
         """Fold one terminal request into the accumulator."""
         self.n += 1
         self.preemptions += request.preemptions
+        self.retries += request.retries
         self.output_tokens += request.tokens_done
         if request.prefill_wait_s is not None:
             self._prefill_wait_sum += request.prefill_wait_s
@@ -339,6 +365,8 @@ class ServingReportAccumulator:
             self.rejected += 1
             if request.reject_reason == "timeout":
                 self.timed_out += 1
+            elif request.reject_reason == "failed":
+                self.failed += 1
         if not request.finished:
             return
         self.completed += 1
@@ -369,6 +397,8 @@ class ServingReportAccumulator:
         self.completed += other.completed
         self.rejected += other.rejected
         self.timed_out += other.timed_out
+        self.failed += other.failed
+        self.retries += other.retries
         self.preemptions += other.preemptions
         self.slo_met += other.slo_met
         self.tokens_out += other.tokens_out
@@ -424,5 +454,10 @@ class ServingReportAccumulator:
                             if self._prefill_wait_n else 0.0),
             decode_wait_s=(self._decode_wait_sum / self._decode_wait_n
                            if self._decode_wait_n else 0.0),
+            retries=self.retries,
+            failed=self.failed,
+            availability=((self.n - self.failed) / self.n
+                          if self.n else 1.0),
+            failed_req_s=self.failed / span,
             streaming=True,
         )

@@ -25,6 +25,13 @@ class RequestState(enum.Enum):
     REJECTED = "rejected"
 
 
+#: The closed reject-reason taxonomy.  Every rejection the simulator
+#: issues must carry one of these (asserted in the single reject path,
+#: ``ServingSimulator._reject``); metrics may therefore partition
+#: rejections by reason without an "other" bucket.
+REJECT_REASONS = ("timeout", "preempted-out", "too-large", "failed")
+
+
 @dataclass
 class ServeRequest:
     """One inference request flowing through the serving simulator.
@@ -50,7 +57,20 @@ class ServeRequest:
     preemptions:
         How many times this request was kicked out of the batch.
     reject_reason:
-        ``"timeout"`` or ``"preempted-out"`` or ``"too-large"``.
+        One of :data:`REJECT_REASONS`: ``"timeout"`` (queued past the
+        timeout SLO), ``"preempted-out"`` (preemption budget
+        exhausted), ``"too-large"`` (prompt KV cannot fit an empty
+        device) or ``"failed"`` (replica crashes exhausted the retry
+        budget — permanent failure).
+    retries:
+        How many times a replica crash forced this request to be
+        re-dispatched (0 on the fault-free path).  Unlike
+        ``preemptions`` this counts *failures*, not memory pressure,
+        and does not draw on ``max_preemptions``.
+    failed_s:
+        When the request failed permanently (its last crash with no
+        retry budget left); ``None`` unless ``reject_reason`` is
+        ``"failed"``.
     prefill_wait_s / decode_wait_s:
         Per-phase queue-wait attribution, set only by disaggregated
         serving (:mod:`repro.serve.disagg`): time spent queued before
@@ -83,6 +103,8 @@ class ServeRequest:
     reject_reason: Optional[str] = None
     tokens_done: int = 0
     preemptions: int = 0
+    retries: int = 0
+    failed_s: Optional[float] = field(default=None, repr=False)
     prefill_wait_s: Optional[float] = field(default=None, repr=False)
     decode_wait_s: Optional[float] = field(default=None, repr=False)
     tenant: str = field(default="", repr=False)

@@ -39,13 +39,21 @@ from repro.api.spec import AllocatorLike, resolve_allocator
 from repro.gpu.device import GpuDevice
 from repro.obs.gauges import GaugePoint, GaugeSampler
 from repro.obs.trace import TraceRecorder
+from repro.serve.faults import (
+    CrashSchedule,
+    FaultsLike,
+    RetryLike,
+    StragglerState,
+    resolve_faults,
+    resolve_retry,
+)
 from repro.serve.kvcache import (
     KVCacheLike,
     KVCacheMetrics,
     resolve_kv_cache,
 )
 from repro.serve.preemption import PreemptionLike, resolve_preemption
-from repro.serve.request import RequestState, ServeRequest
+from repro.serve.request import REJECT_REASONS, RequestState, ServeRequest
 from repro.serve.metrics import ServingReport, SloConfig
 from repro.serve.scheduler import (
     SchedulerLike,
@@ -137,7 +145,7 @@ class ServingResult:
                                         repr=False, compare=False)
 
     def _request_tallies(self) -> "tuple":
-        """(completed, rejected, preemptions), computed once.
+        """(completed, rejected, preemptions, retries, failed), once.
 
         The request population is final when the simulator builds this
         result, and these counts back several derived metrics
@@ -145,12 +153,14 @@ class ServingResult:
         per property access.
         """
         if self._tallies is None:
-            done = rejected = preempted = 0
+            done = rejected = preempted = retried = failed = 0
             for request in self.requests:
                 done += request.finished
                 rejected += request.rejected
                 preempted += request.preemptions
-            self._tallies = (done, rejected, preempted)
+                retried += request.retries
+                failed += request.reject_reason == "failed"
+            self._tallies = (done, rejected, preempted, retried, failed)
         return self._tallies
 
     @property
@@ -164,6 +174,16 @@ class ServingResult:
     @property
     def preemptions(self) -> int:
         return self._request_tallies()[2]
+
+    @property
+    def retries(self) -> int:
+        """Crash-forced re-dispatches summed over the population."""
+        return self._request_tallies()[3]
+
+    @property
+    def failed(self) -> int:
+        """Requests rejected permanently by replica faults."""
+        return self._request_tallies()[4]
 
     @property
     def utilization(self) -> float:
@@ -211,6 +231,10 @@ class ServingResult:
             "kv_cache": self.kv_cache_name,
             "preemption": self.preemption_name,
         }
+        if self.retries:
+            out["retries"] = self.retries
+        if self.failed:
+            out["failed"] = self.failed
         if self.kv_metrics is not None:
             out["kv_internal_frag"] = round(
                 self.kv_metrics.internal_frag_ratio, 3)
@@ -263,6 +287,8 @@ class ServingSimulator:
         preemption: PreemptionLike = "recompute",
         trace: Optional[TraceRecorder] = None,
         gauges: Optional[GaugeSampler] = None,
+        faults: FaultsLike = "none",
+        retry: RetryLike = "none",
     ):
         self.model = get_model(model) if isinstance(model, str) else model
         self.config = config if config is not None else ServingConfig()
@@ -295,6 +321,40 @@ class ServingSimulator:
         #: Min-heap of (deadline, req_id, request) queue-timeout events,
         #: owned by :meth:`run`; requeue paths push into it directly.
         self._timeouts: List[Tuple[float, int, ServeRequest]] = []
+        # Fault injection.  With faults="none" the replica context is
+        # None, so the loop body's fault branches never fire and the
+        # run stays byte-identical to the pre-fault simulator (the
+        # committed hotpath goldens enforce this).
+        self.faults = resolve_faults(faults)
+        self.retry = resolve_retry(retry)
+        context = self.faults.replica_context(replica_id)
+        self._crash = context if isinstance(context, CrashSchedule) else None
+        self._straggler = (context if isinstance(context, StragglerState)
+                           else None)
+        #: Min-heap of (ready_s, seq, request) re-entries: retries
+        #: landing after backoff and hedge duplicates, drained into
+        #: the admission queue alongside arrivals.
+        self._injected: List[Tuple[float, int, ServeRequest]] = []
+        self._inject_seq = 0
+        #: ``id()`` of requests that left this replica (re-dispatched
+        #: to another one, or cancelled hedge losers): their stale
+        #: timeout-heap entries are skipped and they are dropped from
+        #: this replica's result population.
+        self._gone: set = set()
+        #: Requests injected here that did not arrive with the shard.
+        self._adopted: List[ServeRequest] = []
+        self._adopted_ids: set = set()
+        self._home_ids: set = set()
+        #: Orchestrator hook, (request, ready_s, failover) -> None.
+        #: When set (fleet co-simulation), crash victims and failover
+        #: re-routes go fleet-wide; when None they re-enter *this*
+        #: replica's queue after the retry delay.
+        self._fault_sink = None
+        # Run state owned by start()/tick()/finish().
+        self._pending: List[ServeRequest] = []
+        self._queue: "Deque[ServeRequest]" = deque()
+        self._running: List[ServeRequest] = []
+        self._index = 0
 
     # ------------------------------------------------------------------
     # Time helpers
@@ -317,11 +377,16 @@ class ServingSimulator:
                                      tokens=request.tokens_done)
 
     def _reject(self, request: ServeRequest, reason: str) -> None:
+        # The single reject path: the taxonomy is closed here, so every
+        # downstream consumer may partition rejections by reason.
+        assert reason in REJECT_REASONS, f"unknown reject reason {reason!r}"
         self.kv.release(request)
         self.preemption.forget(request)
         request.state = RequestState.REJECTED
         request.rejected_s = self._now()
         request.reject_reason = reason
+        if reason == "failed":
+            request.failed_s = request.rejected_s
         if self.trace is not None:
             self.trace.request_event("reject", request, request.rejected_s,
                                      reason=reason)
@@ -469,8 +534,9 @@ class ServingSimulator:
         timeouts = self._timeouts
         while timeouts:
             _, _, request = timeouts[0]
-            if request.state not in _QUEUE_STATES:
-                heapq.heappop(timeouts)  # left the queue long ago
+            if (request.state not in _QUEUE_STATES
+                    or id(request) in self._gone):
+                heapq.heappop(timeouts)  # left the queue (or replica)
                 continue
             if now - request.arrival_s > timeout_s:
                 heapq.heappop(timeouts)
@@ -505,6 +571,8 @@ class ServingSimulator:
         batch = len(running)
         step_us = (self.config.step_overhead_us
                    + batch * 1e6 / self.config.decode_tokens_per_s)
+        if self._straggler is not None:
+            step_us *= self._straggler.step_factor()
         self.session.advance(step_us)
         # Transient per-step activation workspace, like the offline
         # serving generator's ``ws`` tensors: small, short-lived churn
@@ -532,12 +600,159 @@ class ServingSimulator:
             self.session.sample()
 
     # ------------------------------------------------------------------
-    def run(self, requests: Iterable[ServeRequest]) -> ServingResult:
-        """Serve ``requests`` to completion (or rejection).
+    # Fault hooks (no-ops on the faults="none" default path)
+    # ------------------------------------------------------------------
+    def inject(self, request: ServeRequest, ready_s: float) -> None:
+        """Queue ``request`` to (re-)enter this replica at ``ready_s``.
 
-        The loop always makes progress: every iteration either admits,
-        decodes one step, rejects, or jumps the clock to the next
-        arrival/timeout event — so it terminates for any finite stream.
+        Used by the local retry path (a crash victim coming back after
+        backoff) and by the fleet orchestrator (failover re-routes and
+        hedge duplicates landing from another replica).  The request
+        joins the admission queue when the replica's clock reaches
+        ``ready_s``; its *original* arrival keeps driving the timeout
+        SLO — deadlines are end-to-end, retries do not reset them.
+        """
+        rid = id(request)
+        self._gone.discard(rid)
+        if rid not in self._home_ids and rid not in self._adopted_ids:
+            self._adopted_ids.add(rid)
+            self._adopted.append(request)
+        self._inject_seq += 1
+        heapq.heappush(self._injected, (ready_s, self._inject_seq, request))
+
+    def cancel(self, request: ServeRequest) -> None:
+        """Withdraw ``request`` from this replica (a hedge copy lost
+        the race): free any KV it holds through the KV model, forget
+        any preemption-policy state, and drop it from this replica's
+        result population with no reject accounting — exactly one copy
+        of a hedged request survives fleet-wide.
+        """
+        if request.state is RequestState.RUNNING:
+            self.kv.release(request)
+            if request in self._running:
+                self._running.remove(request)
+        elif request.state in _QUEUE_STATES:
+            self.kv.release(request)
+            try:
+                self._queue_discard(self._queue, request)
+            except ValueError:
+                pass  # still in the injection heap; the drain skips it
+        self.preemption.forget(request)
+        # Terminal-but-unaccounted: heaps lazily skip REJECTED entries,
+        # and _gone drops the object from finish()'s population.
+        request.state = RequestState.REJECTED
+        self._gone.add(id(request))
+
+    def _crash_victim(self, request: ServeRequest,
+                      running: List[ServeRequest]) -> None:
+        """The replica died under a running request: its device KV is
+        gone (freed through the KV model, so the no-leak invariants
+        keep holding), its generated text survives, and the retry
+        policy decides whether it re-enters the fleet — recompute
+        prefill over the full context rebuilds the KV on re-admission,
+        exactly like recompute preemption."""
+        self.kv.release(request)
+        self.preemption.forget(request)
+        running.remove(request)
+        now = self._now()
+        delay = self.retry.next_delay_s(request)
+        if delay is None:
+            self._reject(request, "failed")
+            return
+        request.retries += 1
+        request.state = RequestState.QUEUED
+        if self.trace is not None:
+            self.trace.request_event("retry", request, now,
+                                     attempt=request.retries,
+                                     delay_s=delay)
+        if self._fault_sink is not None:
+            self._gone.add(id(request))
+            self._fault_sink(request, now + delay, False)
+        else:
+            self.inject(request, now + delay)
+
+    def _crash_poll(self, queue: "Deque[ServeRequest]",
+                    running: List[ServeRequest]) -> None:
+        """Cross crash/recover window boundaries the clock has passed.
+
+        Idle jumps can leap whole windows, so this loops: recover from
+        an expired window, enter the next one if it is already due.
+        At crash entry every running request is evicted to the retry
+        policy; under fleet orchestration the queued requests fail
+        over too (re-routed by the front-end, no retry budget spent —
+        they lost no work).  While down, the replica admits nothing
+        and decodes nothing; queued requests keep aging toward their
+        timeout deadlines.
+        """
+        crash = self._crash
+        now = self._now()
+        while True:
+            if crash.down:
+                if now < crash.end_s:
+                    return
+                recover_s = crash.end_s
+                crash.recover()
+                if self.trace is not None:
+                    self.trace.record("recover", max(now, recover_s),
+                                      replica=self.replica_id)
+                if self.gauges is not None:
+                    self.gauges.note_recover(max(now, recover_s),
+                                             self.replica_id)
+            if now < crash.start_s:
+                return
+            crash.crash()
+            if self.trace is not None:
+                self.trace.record("crash", max(now, crash.start_s),
+                                  replica=self.replica_id,
+                                  mttr_s=crash.end_s - crash.start_s)
+            if self.gauges is not None:
+                self.gauges.note_crash(max(now, crash.start_s),
+                                       self.replica_id)
+            for request in list(running):
+                self._crash_victim(request, running)
+            if self._fault_sink is not None:
+                while queue:
+                    request = queue.popleft()
+                    self._gone.add(id(request))
+                    self._fault_sink(request, now, True)
+
+    @property
+    def busy(self) -> bool:
+        """True while :meth:`tick` still has work to do."""
+        return bool(self._index < len(self._pending) or self._queue
+                    or self._running or self._injected)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests currently queued or running here — the load signal
+        the fleet front-end uses for failover and hedge targeting."""
+        return len(self._queue) + len(self._running)
+
+    # ------------------------------------------------------------------
+    def start(self, requests: Iterable[ServeRequest]) -> None:
+        """Begin a run: sort arrivals, place the weights, reset state.
+
+        ``start`` / :meth:`tick` / :meth:`finish` decompose
+        :meth:`run` so a fleet orchestrator can co-simulate replicas
+        (stepping whichever holds the earliest clock) — ``run`` is
+        exactly ``start``, ``tick`` until done, ``finish``.
+        """
+        self._pending = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
+        for request in self._pending:
+            request.replica = self.replica_id
+        self._home_ids = {id(r) for r in self._pending}
+        self.session.alloc("weights", self.model.weight_bytes)
+        self._queue = deque()
+        self._running = []
+        self._timeouts.clear()
+        self._index = 0
+
+    def tick(self) -> bool:
+        """One serving-loop iteration; ``False`` once drained.
+
+        Every iteration either admits, decodes one step, rejects, or
+        jumps the clock to the next arrival/timeout/re-entry/recovery
+        event — so the loop terminates for any finite stream.
 
         Event plumbing is heap/deque-driven so each step is O(log n)
         bookkeeping: arrivals come off a presorted list by index, the
@@ -547,63 +762,93 @@ class ServingSimulator:
         the earliest pending event (next arrival or earliest deadline)
         is the heap top, not a min() over rebuilt lists.
         """
-        pending = sorted(requests, key=lambda r: (r.arrival_s, r.req_id))
-        for request in pending:
-            request.replica = self.replica_id
-        self.session.alloc("weights", self.model.weight_bytes)
-        queue: Deque[ServeRequest] = deque()
-        running: List[ServeRequest] = []
+        pending, queue, running = self._pending, self._queue, self._running
+        if not (self._index < len(pending) or queue or running
+                or self._injected):
+            return False
         timeouts = self._timeouts
-        timeouts.clear()
         timeout_s = self.config.queue_timeout_s
-        index = 0
-
-        while index < len(pending) or queue or running:
-            now = self._now()
-            while (index < len(pending)
-                   and pending[index].arrival_s <= now + _EPS):
-                request = pending[index]
-                queue.append(request)
-                heapq.heappush(
-                    timeouts,
-                    (request.arrival_s + timeout_s, request.req_id, request))
-                if self.trace is not None:
-                    self.trace.request_event("arrival", request,
-                                             request.arrival_s,
-                                             prompt=request.prompt_tokens,
-                                             output=request.output_tokens)
-                index += 1
-            self._expire_timeouts(queue)
-            self._run_admissions(queue, running)
-            if self.gauges is not None:
-                self.gauges.poll(self, queue, running)
-            if running:
-                self._decode_step(queue, running)
+        now = self._now()
+        if self._crash is not None:
+            self._crash_poll(queue, running)
+        while (self._index < len(pending)
+               and pending[self._index].arrival_s <= now + _EPS):
+            request = pending[self._index]
+            queue.append(request)
+            heapq.heappush(
+                timeouts,
+                (request.arrival_s + timeout_s, request.req_id, request))
+            if self.trace is not None:
+                self.trace.request_event("arrival", request,
+                                         request.arrival_s,
+                                         prompt=request.prompt_tokens,
+                                         output=request.output_tokens)
+            self._index += 1
+        while self._injected and self._injected[0][0] <= now + _EPS:
+            _, _, request = heapq.heappop(self._injected)
+            if id(request) in self._gone:  # cancelled before landing
                 continue
-            # Idle (or admission-blocked with an empty batch): jump to
-            # whatever happens next — an arrival or a queue timeout.
-            # Stale heap entries (requests that already left the queue)
-            # are discarded first so they can never shorten the jump.
-            while timeouts and timeouts[0][2].state not in _QUEUE_STATES:
-                heapq.heappop(timeouts)
-            horizons = []
-            if index < len(pending):
-                horizons.append(pending[index].arrival_s)
-            if queue and timeouts:
-                horizons.append(timeouts[0][0])
-            if not horizons:
-                break
-            target = max(min(horizons), now)
-            # The extra microsecond pushes strictly past the boundary so
-            # the event fires on the next pass (no busy-spinning).
-            self.session.advance((target - now) * 1e6 + 1.0)
+            request.replica = self.replica_id
+            request.state = RequestState.QUEUED
+            queue.append(request)
+            heapq.heappush(
+                timeouts,
+                (request.arrival_s + timeout_s, request.req_id, request))
+        self._expire_timeouts(queue)
+        down = self._crash is not None and self._crash.down
+        if not down:
+            self._run_admissions(queue, running)
+        if self.gauges is not None:
+            self.gauges.poll(self, queue, running)
+        if running:
+            self._decode_step(queue, running)
+            return True
+        # Idle (or admission-blocked with an empty batch): jump to
+        # whatever happens next — an arrival, a queue timeout, a
+        # retry/hedge re-entry, or the crash window's end.  Stale heap
+        # entries (requests that already left the queue) are discarded
+        # first so they can never shorten the jump.
+        while timeouts and (timeouts[0][2].state not in _QUEUE_STATES
+                            or id(timeouts[0][2]) in self._gone):
+            heapq.heappop(timeouts)
+        horizons = []
+        if self._index < len(pending):
+            horizons.append(pending[self._index].arrival_s)
+        if queue and timeouts:
+            horizons.append(timeouts[0][0])
+        if self._injected:
+            horizons.append(self._injected[0][0])
+        if down:
+            horizons.append(self._crash.end_s)
+        if not horizons:
+            return False
+        target = max(min(horizons), now)
+        # The extra microsecond pushes strictly past the boundary so
+        # the event fires on the next pass (no busy-spinning).
+        self.session.advance((target - now) * 1e6 + 1.0)
+        return True
 
+    def finish(self) -> ServingResult:
+        """Close the run and collect this replica's result.
+
+        The population is every request that *ended* here: the shard's
+        arrivals minus the ones faults moved elsewhere (re-dispatched
+        crash victims, failover re-routes, cancelled hedge losers),
+        plus adopted re-entries from other replicas.  On the
+        fault-free path that is exactly the shard, untouched.
+        """
+        requests = self._pending
+        if self._gone or self._adopted:
+            requests = [r for r in requests if id(r) not in self._gone]
+            requests.extend(r for r in self._adopted
+                            if id(r) not in self._gone)
+            requests.sort(key=lambda r: (r.arrival_s, r.req_id))
         return ServingResult(
             allocator_name=self.allocator.name,
             scheduler_name=self.scheduler.name,
             model_name=self.model.name,
             capacity=self.capacity,
-            requests=pending,
+            requests=requests,
             makespan_s=self._now(),
             stats=self.allocator.stats(),
             timeline=list(self.session.timeline),
@@ -614,6 +859,19 @@ class ServingSimulator:
             gauges=(self.gauges.series(self.replica_id)
                     if self.gauges is not None else []),
         )
+
+    def run(self, requests: Iterable[ServeRequest]) -> ServingResult:
+        """Serve ``requests`` to completion (or rejection).
+
+        Exactly :meth:`start`, :meth:`tick` until drained,
+        :meth:`finish` — the same operation sequence the historical
+        single-method loop performed, so the committed goldens pin
+        this path byte-for-byte.
+        """
+        self.start(requests)
+        while self.tick():
+            pass
+        return self.finish()
 
 
 def run_serving(
@@ -627,16 +885,21 @@ def run_serving(
     preemption: PreemptionLike = "recompute",
     trace: Optional[TraceRecorder] = None,
     gauges: Optional[GaugeSampler] = None,
+    faults: FaultsLike = "none",
+    retry: RetryLike = "none",
 ) -> ServingResult:
     """Convenience wrapper: build one replica and serve ``requests``.
 
     ``trace`` (a :class:`~repro.obs.trace.TraceRecorder`) and
     ``gauges`` (a :class:`~repro.obs.gauges.GaugeSampler`) opt into
     lifecycle tracing and time-series sampling; both are passive.
+    ``faults`` / ``retry`` (see :mod:`repro.serve.faults`) opt into
+    fault injection; crash victims retry *locally* on a single replica
+    (there is nowhere else to go) and hedging is inert without a fleet.
     """
     simulator = ServingSimulator(model, allocator=allocator,
                                  capacity=capacity, scheduler=scheduler,
                                  config=config, kv_cache=kv_cache,
                                  preemption=preemption, trace=trace,
-                                 gauges=gauges)
+                                 gauges=gauges, faults=faults, retry=retry)
     return simulator.run(requests)

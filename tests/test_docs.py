@@ -61,7 +61,7 @@ def _fenced_blocks(path: Path, language: str):
 class TestDocsTreeExists:
     @pytest.mark.parametrize("name", [
         "architecture.md", "allocators.md", "serving.md", "experiments.md",
-        "performance.md", "observability.md",
+        "performance.md", "observability.md", "robustness.md",
     ])
     def test_guide_present(self, name):
         assert (DOCS / name).is_file()
@@ -69,7 +69,8 @@ class TestDocsTreeExists:
     def test_readme_links_every_guide(self):
         readme = (REPO / "README.md").read_text(encoding="utf-8")
         for name in ("architecture.md", "allocators.md", "serving.md",
-                     "experiments.md", "performance.md", "observability.md"):
+                     "experiments.md", "performance.md", "observability.md",
+                     "robustness.md"):
             assert f"docs/{name}" in readme, f"README must link docs/{name}"
 
 
@@ -125,6 +126,8 @@ KIND_DOC = {
     "autoscaler": "serving.md",
     "interconnect": "serving.md",
     "trace": "observability.md",
+    "faults": "serving.md",
+    "retry": "serving.md",
 }
 
 

@@ -6,34 +6,14 @@ down and rebuilds state; a mid-operation ``cuMemCreate`` failure must
 never leak chunks, strand VA reservations, or corrupt the pools.
 """
 
-import itertools
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.allocators import CachingAllocator, VmmNaiveAllocator
 from repro.core import GMLakeAllocator
-from repro.errors import CudaOutOfMemoryError, OutOfMemoryError
-from repro.gpu.device import GpuDevice
+from repro.errors import OutOfMemoryError
+from repro.testing import FlakyDevice
 from repro.units import GB, MB
-
-
-class FlakyDevice(GpuDevice):
-    """A device whose physical allocator fails on chosen call numbers."""
-
-    def __init__(self, capacity, fail_on=()):
-        super().__init__(capacity=capacity)
-        self._create_calls = itertools.count(1)
-        self._fail_on = set(fail_on)
-        original_create = self.phys.create
-
-        def flaky_create(size):
-            call = next(self._create_calls)
-            if call in self._fail_on:
-                raise CudaOutOfMemoryError(size, self.phys.free, capacity)
-            return original_create(size)
-
-        self.phys.create = flaky_create
 
 
 class TestGMLakeFaults:

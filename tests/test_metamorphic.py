@@ -14,20 +14,34 @@ output moves the right way (or doesn't move at all):
   scenario digest, floats and request lifecycles included);
 - **weight scaling**: WFQ weights ``t0:4,t1:2`` produce the very same
   schedule as ``t0:2,t1:1`` — only ratios matter — down to identical
-  request-lifecycle digests.
+  request-lifecycle digests;
+- **faults off ≡ baseline**: passing ``faults="none", retry="none"``
+  explicitly replays byte-identically to the committed pre-fault
+  golden digest;
+- **mttr → 0**: vanishing repair times recover the no-fault fleet's
+  completions (and nearly its goodput);
+- **retry budget ↑**: at light load a larger crash-retry budget never
+  completes fewer requests.
 """
 
 import json
 from pathlib import Path
 
 from repro.serve import (
+    LengthSampler,
+    MMPPArrivals,
     MultiTenantArrivals,
     PoissonArrivals,
     ServingConfig,
     run_serving,
+    run_serving_cluster,
 )
 from repro.units import GB
-from test_equivalence_goldens import SCENARIOS, _request_digest
+from test_equivalence_goldens import (
+    SCENARIOS,
+    _request_digest,
+    serving_digest,
+)
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "hotpath_goldens.json"
 
@@ -148,3 +162,54 @@ class TestWeightScaleInvariance:
         duplicated = self._run("t0:2,t1:1,t0:2")
         assert (_request_digest(baseline.requests)
                 == _request_digest(duplicated.requests))
+
+
+class TestFaultsOffIsByteIdentical:
+    def test_explicit_none_matches_committed_golden(self):
+        """``faults="none", retry="none"`` must be the identity: the
+        committed pre-fault golden scenario replays to the same full
+        digest — counters, float timings and the MD5 over every
+        request lifecycle — with the gates passed explicitly."""
+        goldens = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        arrivals = MMPPArrivals(rate_calm_per_s=4.0, rate_burst_per_s=16.0,
+                                mean_dwell_s=10.0)
+        stream = arrivals.generate(
+            100, LengthSampler(mean_prompt=512, mean_output=256), seed=0)
+        result = run_serving(
+            stream, MODEL, allocator="caching", capacity=8 * GB,
+            scheduler="memory-aware", kv_cache="paged?block_tokens=16",
+            faults="none", retry="none")
+        assert serving_digest(result) \
+            == goldens["serve/caching-paged-memaware-mmpp"]
+
+
+class TestFaultLimits:
+    def _fleet(self, faults, retry):
+        stream = PoissonArrivals(rate_per_s=4.0).generate(80, seed=7)
+        return run_serving_cluster(
+            stream, MODEL, n_replicas=2, allocator="caching",
+            capacity=6 * GB, scheduler="memory-aware",
+            kv_cache="paged?block_tokens=16", faults=faults, retry=retry)
+
+    def test_mttr_to_zero_recovers_no_fault_completions(self):
+        """Crashes with vanishing repair times are harmless blips: the
+        fleet completes exactly what the fault-free fleet completes,
+        and gives up almost none of its goodput re-running the
+        interrupted work."""
+        clean = self._fleet("none", "none").report()
+        blips = self._fleet("replica-crash?mtbf_s=5&mttr_s=1e-6",
+                            "budget?max=8").report()
+        assert blips.completed == clean.completed
+        assert blips.failed == 0
+        assert blips.goodput_req_s >= 0.95 * clean.goodput_req_s
+
+    def test_bigger_retry_budget_never_completes_fewer(self):
+        """At light load (retries add no meaningful contention and the
+        crash schedule is a pure function of the seed, not the load) a
+        larger retry budget can only rescue more crash victims."""
+        completions = []
+        for budget in (1, 2, 4):
+            report = self._fleet("replica-crash?mtbf_s=10&mttr_s=3",
+                                 f"budget?max={budget}").report()
+            completions.append(report.completed)
+        assert completions == sorted(completions)
