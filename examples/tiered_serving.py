@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Tiered KV offload: recompute-only vs. DRAM vs. DRAM+CXL hierarchies.
+
+When serving load pushes the KV cache past device capacity, the
+default ``recompute`` preemption throws a victim's KV away and pays
+GPU compute to re-prefill it on re-admission.  A ``memory_tiers``
+hierarchy gives the victim somewhere cheaper to go: its KV demotes
+into the shallowest slow-memory tier with room (host DRAM, then a
+CXL pool, then NVMe — each transfer priced on the simulated clock)
+and promotes back when the request is re-admitted.  This example runs
+the same overloaded arrival stream three ways — no hierarchy, a
+deliberately small DRAM tier, and the same DRAM tier backed by CXL —
+and prints the SLO table plus the per-tier residency ledger that only
+a tiered run can report.
+
+Run:  python examples/tiered_serving.py [model] [rate] [requests]
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.analysis.serving import format_defrag_comparison
+from repro.serve import PoissonArrivals, ServingConfig, SloConfig, run_serving
+from repro.units import GB, MB
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "opt-1.3b"
+    rate = float(sys.argv[2]) if len(sys.argv) > 2 else 16.0
+    n_requests = int(sys.argv[3]) if len(sys.argv) > 3 else 160
+
+    capacity = 3 * GB      # opt-1.3b weights ~2.6 GB: KV headroom is scarce
+    config = ServingConfig(max_batch=32, queue_timeout_s=30.0)
+    slo = SloConfig(ttft_s=2.0, tpot_s=0.05)
+
+    def stream():
+        return PoissonArrivals(rate_per_s=rate).generate(n_requests, seed=2)
+
+    hierarchies = {
+        "recompute only": "",
+        "+ small DRAM": "dram?gb=0.2",
+        "+ DRAM + CXL": "dram?gb=0.2,cxl?gb=16&gb_per_s=40&latency_us=1",
+    }
+    runs = {}
+    for label, tiers in hierarchies.items():
+        runs[label] = run_serving(
+            stream(), model, allocator="caching", capacity=capacity,
+            scheduler="memory-aware", kv_cache="paged?block_tokens=16",
+            config=config, memory_tiers=tiers)
+
+    print(format_defrag_comparison(
+        runs,
+        title=f"{model}: {n_requests} req at {rate:g}/s on "
+              f"{capacity // GB} GB — offload capacity vs. re-prefill",
+        slo=slo))
+
+    # Where the demoted KV actually landed, tier by tier.
+    rows = []
+    for label, result in runs.items():
+        if not result.memory_tiers:
+            continue
+        kv = result.kv_metrics
+        for tier in result.memory_tiers.split(","):
+            name = tier.split("?", 1)[0]
+            rows.append({
+                "run": label,
+                "tier": tier,
+                "demoted (MB)": round(kv.demoted_bytes.get(name, 0) / MB, 1),
+                "promoted (MB)": round(kv.promoted_bytes.get(name, 0) / MB, 1),
+            })
+    print()
+    print(format_table(rows, title="per-tier residency ledger"))
+
+    print("\nOffload capacity converts re-prefill compute into "
+          "bandwidth-bound transfers: the starved DRAM tier recovers a "
+          "little goodput, and the CXL pool behind it keeps absorbing "
+          "the overflow that DRAM alone bounces back to recompute.")
+
+
+if __name__ == "__main__":
+    main()

@@ -113,6 +113,19 @@ def defrag_comparison_rows(
             rows[-1]["prefix hit"] = round(kv.prefix_hit_rate, 3)
             rows[-1]["shared (MB)"] = round(kv.shared_bytes / (1 << 20), 1)
             rows[-1]["cow (MB)"] = round(kv.cow_copy_bytes / (1 << 20), 2)
+        # Tier-offload columns appear only when some run demoted KV
+        # into a slow-memory hierarchy (memory_tiers runs).
+        if kv is not None and getattr(kv, "demoted_bytes", None):
+            rows[-1]["demoted (MB)"] = round(
+                sum(kv.demoted_bytes.values()) / (1 << 20), 1)
+            rows[-1]["promoted (MB)"] = round(
+                sum(kv.promoted_bytes.values()) / (1 << 20), 1)
+    # format_table keys columns off the first row, so when any run fed
+    # the hierarchy, give the tierless baselines explicit zero cells.
+    if any("demoted (MB)" in row for row in rows):
+        for row in rows:
+            row.setdefault("demoted (MB)", 0.0)
+            row.setdefault("promoted (MB)", 0.0)
     return rows
 
 

@@ -137,6 +137,15 @@ class ServingSpec:
     stride, and ``streaming=True`` computes report percentiles from
     constant-memory t-digest sketches (see :mod:`repro.obs`).
 
+    ``memory_tiers`` names an ordered slow-memory hierarchy below the
+    device's HBM as a comma-separated list of ``memory-tier`` specs
+    (``"dram?gb=64"``, ``"dram?gb=64,cxl?gb=256&gb_per_s=40"``).  Cold
+    KV demotes down the hierarchy instead of being dropped and
+    promotes back on first touch (see :mod:`repro.serve.memtier`);
+    empty means no tiering and runs byte-identically to a spec
+    predating the field.  Mutually exclusive with ``preemption:
+    "swap"`` — the hierarchy generalizes swap's single host hop.
+
     ``prefix_sharing=True`` switches the paged KV model to its
     radix-trie prefix-sharing variant (``kv_cache: "paged"`` becomes
     ``"paged-shared"``, block size preserved; a bare default
@@ -172,6 +181,7 @@ class ServingSpec:
     streaming: bool = False           # sketch-backed report percentiles
     disagg: Optional[DisaggSpec] = None  # prefill/decode disaggregation
     prefix_sharing: bool = False      # paged -> paged-shared (radix trie)
+    memory_tiers: str = ""            # tier hierarchy; "" -> no tiering
     seed: int = 0
 
     def __post_init__(self):
@@ -214,6 +224,20 @@ class ServingSpec:
         if self.trace:
             object.__setattr__(
                 self, "trace", TraceSpec.parse(self.trace).spec_string())
+        if self.memory_tiers:
+            from repro.serve.memtier import parse_memory_tiers
+            from repro.serve.preemption import PreemptionSpec as _PSpec
+
+            tiers = parse_memory_tiers(self.memory_tiers)
+            object.__setattr__(
+                self, "memory_tiers",
+                ",".join(t.spec_string() for t in tiers))
+            if _PSpec.parse(self.preemption).info.name == "swap":
+                raise SpecError(
+                    "memory_tiers generalizes swap preemption's single "
+                    "host hop; pass preemption: \"recompute\" (the "
+                    "default) with a tier hierarchy, or drop "
+                    "memory_tiers to keep legacy swap")
         if self.gauge_every_s < 0:
             raise SpecError(
                 f"gauge_every_s must be >= 0, got {self.gauge_every_s}")
@@ -487,6 +511,7 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
             interconnect=serving.disagg.interconnect,
             trace=recorder, gauges=gauges,
             faults=serving.faults, retry=serving.retry,
+            memory_tiers=serving.memory_tiers,
         )
         outcome = ExperimentResult.from_serve_disagg(
             result, slo=serving.slo(), label=allocator.label,
@@ -499,6 +524,7 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
             kv_cache=serving.kv_cache, preemption=serving.preemption,
             autoscaler=serving.autoscaler, trace=recorder, gauges=gauges,
             faults=serving.faults, retry=serving.retry,
+            memory_tiers=serving.memory_tiers,
         )
         outcome = ExperimentResult.from_serve_cluster(
             result, slo=serving.slo(), label=allocator.label,
@@ -510,6 +536,7 @@ def _run_serve(spec: ExperimentSpec, allocator: AllocatorSpec) -> ExperimentResu
             config=config, kv_cache=serving.kv_cache,
             preemption=serving.preemption, trace=recorder, gauges=gauges,
             faults=serving.faults, retry=serving.retry,
+            memory_tiers=serving.memory_tiers,
         )
         outcome = ExperimentResult.from_serving(
             result, slo=serving.slo(), label=allocator.label,

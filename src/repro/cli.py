@@ -97,6 +97,8 @@ from repro.serve import (
     interconnect_names,
     kv_cache_names,
     load_arrival_log,
+    memory_tier_names,
+    parse_memory_tiers,
     run_serving,
     run_serving_cluster,
     run_serving_disagg,
@@ -368,6 +370,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     interconnect_spec = InterconnectSpec.parse(args.interconnect)
     faults_spec = FaultsSpec.parse(args.faults)
     retry_spec = RetrySpec.parse(args.retry)
+    tier_specs = parse_memory_tiers(args.memory_tiers)
+    memory_tiers = ",".join(t.spec_string() for t in tier_specs)
+    if memory_tiers and preemption_spec.name == "swap":
+        print("serve: --memory-tiers generalizes swap preemption's single "
+              "host hop; use --preemption recompute (the default) with a "
+              "tier hierarchy, or drop --memory-tiers to keep legacy swap",
+              file=sys.stderr)
+        return 2
     if args.disagg and args.gpus > 1:
         print("serve: --disagg sizes its fleets with --prefill-replicas/"
               "--decode-replicas; drop --gpus", file=sys.stderr)
@@ -406,7 +416,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 config=config, kv_cache=kv_spec,
                 preemption=preemption_spec, autoscaler=autoscaler_spec,
                 interconnect=interconnect_spec, trace=recorder,
-                gauges=gauges, faults=faults_spec, retry=retry_spec)
+                gauges=gauges, faults=faults_spec, retry=retry_spec,
+                memory_tiers=memory_tiers)
             if gauges is not None:
                 gauge_points.extend(result.gauge_points)
         elif args.gpus > 1:
@@ -416,7 +427,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 config=config, kv_cache=kv_spec,
                 preemption=preemption_spec, autoscaler=autoscaler_spec,
                 trace=recorder, gauges=gauges, faults=faults_spec,
-                retry=retry_spec)
+                retry=retry_spec, memory_tiers=memory_tiers)
             if gauges is not None:
                 gauge_points.extend(result.gauge_points)
         else:
@@ -424,7 +435,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 stream, args.model, allocator=spec, capacity=args.capacity,
                 scheduler=scheduler_spec, config=config, kv_cache=kv_spec,
                 preemption=preemption_spec, trace=recorder, gauges=gauges,
-                faults=faults_spec, retry=retry_spec)
+                faults=faults_spec, retry=retry_spec,
+                memory_tiers=memory_tiers)
             if gauges is not None:
                 gauge_points.extend(result.gauges)
         reports[spec.label] = result.report(slo, streaming=args.streaming)
@@ -457,6 +469,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     title = (f"serve {args.model}: {n_requests} req, {shape}, "
              f"{topology}, scheduler={scheduler_spec.label}, "
              f"kv={kv_spec.label}, preemption={preemption_spec.label}")
+    if memory_tiers:
+        title += f", tiers={memory_tiers}"
     if autoscaler_spec.name != "none" and (args.gpus > 1 or args.disagg):
         title += f", autoscaler={autoscaler_spec.label}"
     if faults_spec.name != "none":
@@ -723,6 +737,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "re-prefill) or 'swap' (host offload priced by an "
                         "interconnect component, e.g. "
                         "'swap?interconnect=pcie?gb_per_s=12')")
+    p.add_argument("--memory-tiers", default="",
+                   help="slow-memory hierarchy below HBM as a comma list "
+                        "of memory-tier specs, e.g. 'dram?gb=64' or "
+                        "'dram?gb=64,cxl?gb=256&gb_per_s=40,nvme' — cold "
+                        "KV demotes down the hierarchy instead of being "
+                        "recomputed "
+                        f"(names: {memory_tier_names()})")
     p.add_argument("--autoscaler", default="none",
                    help="replica autoscaler spec (multi-GPU or disagg): "
                         "'none' or 'queue-depth?high=4000&low=500' "

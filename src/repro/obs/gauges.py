@@ -55,6 +55,10 @@ class GaugePoint:
         model feeds through :meth:`GaugeSampler.note_crash` /
         :meth:`GaugeSampler.note_recover` (always 0 with
         ``faults=none``).
+    kv_tier_bytes:
+        KV bytes currently resident in slow-memory tiers below HBM
+        (the replica's :class:`~repro.serve.memtier.TierHierarchy`;
+        0 for runs without ``memory_tiers``).
     """
 
     t_s: float
@@ -70,6 +74,7 @@ class GaugePoint:
     active_replicas: int = 1
     kv_shared_blocks: int = 0
     replicas_down: int = 0
+    kv_tier_bytes: int = 0
 
 
 class GaugeSampler:
@@ -118,6 +123,7 @@ class GaugeSampler:
         reserved = allocator.reserved_bytes
         kv = simulator.kv
         utilization = kv.utilization_snapshot(running)
+        hierarchy = getattr(simulator, "hierarchy", None)
         point = GaugePoint(
             t_s=simulator.session.elapsed_s,
             replica=simulator.replica_id,
@@ -132,6 +138,8 @@ class GaugeSampler:
             active_replicas=self._active_at(simulator.session.elapsed_s),
             kv_shared_blocks=getattr(kv, "shared_live_blocks", 0),
             replicas_down=len(self._down),
+            kv_tier_bytes=(hierarchy.resident_bytes
+                           if hierarchy is not None else 0),
         )
         self.points.append(point)
         return point

@@ -84,8 +84,13 @@ REQUEST_EVENT_KINDS = (
 #: cache (rendered as a counter track, like ``memory``).  ``crash``
 #: / ``recover`` bracket a replica's fault-injected downtime (and
 #: drive the fleet-wide "down replicas" counter track).
+#: ``kv_demote`` / ``kv_promote`` mark KV bytes moving down to / back
+#: up from a slow-memory tier (:mod:`repro.serve.memtier`), and
+#: ``kv_tier`` samples each tier's resident bytes (the "tier KV (MB)"
+#: counter track).
 SYSTEM_EVENT_KINDS = ("memory", "oom", "empty_cache", "autoscale",
-                      "kv_shared", "crash", "recover")
+                      "kv_shared", "crash", "recover",
+                      "kv_demote", "kv_promote", "kv_tier")
 
 
 @dataclass(frozen=True)
@@ -291,6 +296,13 @@ class TraceRecorder:
                     "pid": pid, "tid": 0,
                     "args": {"blocks": event.args.get("blocks", 0)},
                 })
+            elif event.kind == "kv_tier":
+                events.append({
+                    "name": "tier KV (MB)", "ph": "C", "ts": ts,
+                    "pid": pid, "tid": 0,
+                    "args": {k: v for k, v in event.args.items()
+                             if isinstance(v, (int, float))},
+                })
             elif event.kind in ("crash", "recover"):
                 # Instant on the replica's own lane, plus the running
                 # fleet-wide "down replicas" counter on the front-end
@@ -311,7 +323,8 @@ class TraceRecorder:
             elif event.kind in ("oom", "empty_cache", "first_token",
                                 "migrate_out", "migrate_in",
                                 "preempt", "reject", "cow_copy",
-                                "retry", "hedge"):
+                                "retry", "hedge",
+                                "kv_demote", "kv_promote"):
                 args = {k: v for k, v in event.args.items()
                         if isinstance(v, (int, float, str, bool))}
                 events.append({

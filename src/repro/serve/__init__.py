@@ -45,6 +45,10 @@ Layout
 - :mod:`repro.serve.preemption` — what an OOM eviction does to the
   victim's KV: ``recompute`` (free + re-prefill) or ``swap`` (host
   offload over a modeled interconnect).
+- :mod:`repro.serve.memtier`    — tiered KV memory: host DRAM / CXL /
+  NVMe offload targets below HBM (``memory-tier`` components), the
+  hierarchy cold KV demotes into and promotes back from on first
+  touch; swap preemption is its degenerate two-tier case.
 - :mod:`repro.serve.autoscale`  — replica-count policies for the
   multi-replica front-end (``none`` / ``queue-depth``).
 - :mod:`repro.serve.interconnect` — modeled links (``pcie`` /
@@ -138,6 +142,20 @@ from repro.serve.kvcache import (
     kv_cache_names,
     resolve_kv_cache,
 )
+from repro.serve.memtier import (
+    MEMORY_TIERS,
+    CxlTier,
+    DramTier,
+    MemoryTier,
+    MemoryTierLike,
+    MemoryTierSpec,
+    MemoryTiersLike,
+    NvmeTier,
+    TierHierarchy,
+    memory_tier_names,
+    parse_memory_tiers,
+    resolve_memory_tiers,
+)
 from repro.serve.prefix import PrefixTrie, SharedPagedKVCache
 from repro.serve.metrics import (
     ServingReport,
@@ -151,6 +169,7 @@ from repro.serve.preemption import (
     PreemptionSpec,
     RecomputePreemption,
     SwapPreemption,
+    TieredPreemption,
     preemption_names,
     resolve_preemption,
 )
@@ -214,8 +233,21 @@ __all__ = [
     "PreemptionSpec",
     "RecomputePreemption",
     "SwapPreemption",
+    "TieredPreemption",
     "preemption_names",
     "resolve_preemption",
+    "MEMORY_TIERS",
+    "MemoryTier",
+    "MemoryTierLike",
+    "MemoryTierSpec",
+    "MemoryTiersLike",
+    "DramTier",
+    "CxlTier",
+    "NvmeTier",
+    "TierHierarchy",
+    "memory_tier_names",
+    "parse_memory_tiers",
+    "resolve_memory_tiers",
     "Scheduler",
     "SchedulerLike",
     "SchedulerSpec",

@@ -245,7 +245,10 @@ class ServeClusterResult(WorstMemberRunResult):
         Counters, copy bytes and utilization samples sum; the peak
         fields sum *per-replica* peaks (the fleet's capacity-planning
         upper bound — replicas own disjoint memory, but their peaks
-        need not coincide in time).
+        need not coincide in time).  The merge is field-generic
+        (:meth:`KVCacheMetrics.merge_from`), so metrics fields added
+        later — per-tier demote/promote dicts, sharing ledgers — are
+        merged by construction instead of silently dropped.
         """
         merged: Optional[KVCacheMetrics] = None
         for replica in self.replicas:
@@ -255,16 +258,7 @@ class ServeClusterResult(WorstMemberRunResult):
             if merged is None:
                 merged = KVCacheMetrics(kv_cache=metrics.kv_cache,
                                         block_tokens=metrics.block_tokens)
-            merged.kv_allocs += metrics.kv_allocs
-            merged.kv_frees += metrics.kv_frees
-            merged.peak_kv_bytes += metrics.peak_kv_bytes
-            merged.peak_blocks += metrics.peak_blocks
-            merged.grow_copy_bytes += metrics.grow_copy_bytes
-            merged.preempt_copy_bytes += metrics.preempt_copy_bytes
-            merged.swapped_bytes += metrics.swapped_bytes
-            merged.migrated_bytes += metrics.migrated_bytes
-            merged.util_sum += metrics.util_sum
-            merged.util_samples += metrics.util_samples
+            merged.merge_from(metrics)
         return merged
 
     def extras(self) -> Dict[str, object]:
@@ -295,6 +289,11 @@ class ServeClusterResult(WorstMemberRunResult):
             if merged.migrated_bytes:
                 out["migrated_mb"] = round(
                     merged.migrated_bytes / (1 << 20), 1)
+            if merged.demoted_bytes:
+                out["demoted_mb"] = round(
+                    sum(merged.demoted_bytes.values()) / (1 << 20), 1)
+                out["promoted_mb"] = round(
+                    sum(merged.promoted_bytes.values()) / (1 << 20), 1)
         return out
 
     @property
@@ -466,6 +465,7 @@ def run_serving_cluster(
     gauges: Optional[GaugeSampler] = None,
     faults: FaultsLike = "none",
     retry: RetryLike = "none",
+    memory_tiers: str = "",
 ) -> ServeClusterResult:
     """Load-balance ``requests`` over ``n_replicas`` single-GPU replicas.
 
@@ -522,7 +522,7 @@ def run_serving_cluster(
                 model, allocator=allocator, capacity=capacity,
                 scheduler=scheduler, config=config, replica_id=replica_id,
                 kv_cache=kv_cache, preemption=preemption, trace=trace,
-                gauges=gauges,
+                gauges=gauges, memory_tiers=memory_tiers,
             )
             result.replicas.append(simulator.run(shard))
         return result
@@ -532,6 +532,7 @@ def run_serving_cluster(
             scheduler=scheduler, config=config, replica_id=replica_id,
             kv_cache=kv_cache, preemption=preemption, trace=trace,
             gauges=gauges, faults=fault_model, retry=retry_policy,
+            memory_tiers=memory_tiers,
         )
         for replica_id in range(n_replicas)
     ]

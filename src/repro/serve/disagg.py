@@ -278,16 +278,7 @@ class DisaggServingResult(WorstMemberRunResult):
             if merged is None:
                 merged = KVCacheMetrics(kv_cache=metrics.kv_cache,
                                         block_tokens=metrics.block_tokens)
-            merged.kv_allocs += metrics.kv_allocs
-            merged.kv_frees += metrics.kv_frees
-            merged.peak_kv_bytes += metrics.peak_kv_bytes
-            merged.peak_blocks += metrics.peak_blocks
-            merged.grow_copy_bytes += metrics.grow_copy_bytes
-            merged.preempt_copy_bytes += metrics.preempt_copy_bytes
-            merged.swapped_bytes += metrics.swapped_bytes
-            merged.migrated_bytes += metrics.migrated_bytes
-            merged.util_sum += metrics.util_sum
-            merged.util_samples += metrics.util_samples
+            merged.merge_from(metrics)
         return merged
 
     @property
@@ -324,6 +315,11 @@ class DisaggServingResult(WorstMemberRunResult):
             if merged.migrated_bytes:
                 out["migrated_mb"] = round(
                     merged.migrated_bytes / (1 << 20), 1)
+            if merged.demoted_bytes:
+                out["demoted_mb"] = round(
+                    sum(merged.demoted_bytes.values()) / (1 << 20), 1)
+                out["promoted_mb"] = round(
+                    sum(merged.promoted_bytes.values()) / (1 << 20), 1)
         return out
 
     @property
@@ -385,6 +381,7 @@ def run_serving_disagg(
     gauges: Optional[GaugeSampler] = None,
     faults: FaultsLike = "none",
     retry: RetryLike = "none",
+    memory_tiers: str = "",
 ) -> DisaggServingResult:
     """Serve ``requests`` on a disaggregated prefill/decode topology.
 
@@ -460,6 +457,7 @@ def run_serving_disagg(
             scheduler=scheduler, config=config, replica_id=replica_id,
             kv_cache=kv_cache, preemption=preemption, trace=trace,
             gauges=gauges, faults=fault_model, retry=retry_policy,
+            memory_tiers=memory_tiers,
             interconnect=link,
             needs_decode=needs_decode, exported=in_flight,
         )
@@ -493,6 +491,7 @@ def run_serving_disagg(
             replica_id=prefill_replicas + offset,
             kv_cache=kv_cache, preemption=policy, trace=trace,
             gauges=gauges, faults=fault_model, retry=retry_policy,
+            memory_tiers=memory_tiers,
         )
         result.decode_results.append(simulator.run(shard))
     result.pending_imports = len(in_flight)

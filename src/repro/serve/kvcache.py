@@ -35,7 +35,7 @@ copy costs) next to the allocator's pool metrics.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field, fields
 from typing import Any, ClassVar, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.allocators.base import BaseAllocator
@@ -116,6 +116,12 @@ class KVCacheMetrics:
         Admissions that declared a sharable prefix, and the subset
         that reused at least one resident shared block (see
         :attr:`prefix_hit_rate`).
+    demoted_bytes / promoted_bytes:
+        KV bytes moved down to / back up from each slow-memory tier
+        of a :class:`~repro.serve.memtier.TierHierarchy`, keyed by
+        tier label (empty for runs without ``memory_tiers``; swap
+        preemption keeps its legacy ``swapped_bytes`` ledger
+        instead).
     """
 
     kv_cache: str
@@ -134,6 +140,29 @@ class KVCacheMetrics:
     cow_copy_bytes: int = 0
     prefix_lookups: int = 0
     prefix_hits: int = 0
+    demoted_bytes: Dict[str, int] = field(default_factory=dict)
+    promoted_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def merge_from(self, other: "KVCacheMetrics") -> None:
+        """Accumulate ``other``'s counters into this instance.
+
+        The fleet-level result mergers (:mod:`repro.serve.cluster`,
+        :mod:`repro.serve.disagg`) use this so a field added to the
+        metrics is merged by construction instead of silently dropped:
+        every numeric field sums, every per-tier dict merges key-wise.
+        The identity fields (``kv_cache``, ``block_tokens``) stay the
+        merger's own.
+        """
+        for spec in fields(self):
+            if spec.name in ("kv_cache", "block_tokens"):
+                continue
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, dict):
+                for key, value in theirs.items():
+                    mine[key] = mine.get(key, 0) + value
+            else:
+                setattr(self, spec.name, mine + theirs)
 
     @property
     def block_utilization(self) -> float:

@@ -56,6 +56,7 @@ from repro.serve.interconnect import (
     PcieInterconnect,
     resolve_interconnect,
 )
+from repro.serve.memtier import DramTier, TierHierarchy
 from repro.serve.request import ServeRequest
 
 register_kind("preemption", label="preemption policy")
@@ -145,6 +146,89 @@ class RecomputePreemption(PreemptionPolicy):
     name = "recompute"
 
 
+class TieredPreemption(PreemptionPolicy):
+    """Offload preemption over a memory-tier hierarchy.
+
+    The generalization of swap preemption: a victim's KV demotes to
+    the shallowest :class:`~repro.serve.memtier.TierHierarchy` tier
+    with room (device→tier transfer charged to the clock) and promotes
+    back on re-admission instead of being recomputed.  When every tier
+    is full — or the victim will never requeue — the policy falls back
+    to recompute semantics (drop the KV, note the discard).  Bytes
+    moved land per tier in ``KVCacheMetrics.demoted_bytes`` /
+    ``promoted_bytes``.
+
+    Not a registered component: the simulator builds one automatically
+    whenever ``memory_tiers`` names a hierarchy, so the hierarchy spec
+    stays the single configuration surface.
+    """
+
+    name = "tiered"
+
+    def __init__(self, hierarchy: TierHierarchy):
+        super().__init__()
+        self.hierarchy = hierarchy
+        #: req_id -> (residency ledger name, KV bytes parked).
+        self._parked: Dict[int, tuple] = {}
+
+    def bind(self, simulator) -> None:
+        super().bind(simulator)
+        self.hierarchy.bind(simulator.session, simulator.device)
+
+    def _account(self, kv, label: str, size: int, restore: bool) -> None:
+        """Record ``size`` moved to/from tier ``label`` (subclass
+        hook — the swap shim redirects this into its legacy
+        ``swapped_bytes`` ledger)."""
+        ledger = (kv.metrics.promoted_bytes if restore
+                  else kv.metrics.demoted_bytes)
+        ledger[label] = ledger.get(label, 0) + size
+
+    def evict(self, request: ServeRequest, requeue: bool = True) -> None:
+        kv = self._sim.kv
+        held = kv.held_bytes(request)
+        if held > 0 and requeue:
+            name = f"kvreq{request.req_id}"
+            placed = self.hierarchy.demote(name, held)
+            if placed is not None:
+                # Device->tier copy happens before the device KV is
+                # freed (the copy needs the source live), so the clock
+                # charge precedes the release.
+                label, us = placed
+                self._sim.session.advance(us)
+                self._account(kv, label, held, restore=False)
+                self._parked[request.req_id] = (name, held)
+                kv.release(request)
+                return
+        # No tier has room (or the victim can never come back): drop
+        # the KV outright, landing it in the same discard ledger
+        # (``preempt_copy_bytes``) a recompute eviction uses.
+        kv.release(request, preempted=True)
+
+    def restore_us(self, request: ServeRequest, context: int) -> float:
+        parked = self._parked.pop(request.req_id, None)
+        if parked is None:
+            # Fresh admission, or a victim that fell back to recompute:
+            # normal prefill.
+            return super().restore_us(request, context)
+        name, _held = parked
+        promoted = self.hierarchy.promote(name)
+        if promoted is None:
+            return super().restore_us(request, context)
+        label, size, us = promoted
+        self._account(self._sim.kv, label, size, restore=True)
+        return us
+
+    def forget(self, request: ServeRequest) -> None:
+        parked = self._parked.pop(request.req_id, None)
+        if parked is not None:
+            self.hierarchy.discard(parked[0])
+
+    @property
+    def parked_requests(self) -> int:
+        """Requests currently parked in some slow-memory tier."""
+        return len(self._parked)
+
+
 def _check_swap(params: Dict[str, Any]) -> None:
     bandwidth = params.get("pcie_gb_per_s")
     # 0 is the documented sentinel for "use the device latency model's
@@ -189,7 +273,7 @@ def _check_swap(params: Dict[str, Any]) -> None:
                 "configured interconnect (PCIe by default) and swap it "
                 "back on re-admission",
 )
-class SwapPreemption(PreemptionPolicy):
+class SwapPreemption(TieredPreemption):
     """Host-offload (swap) preemption with interconnect transfer costs.
 
     Eviction copies the victim's live KV bytes to host memory
@@ -199,6 +283,14 @@ class SwapPreemption(PreemptionPolicy):
     allocates fresh device KV and copies the bytes back (host→device)
     instead of recomputing prefill.  Every byte moved in either
     direction lands in ``KVCacheMetrics.swapped_bytes``.
+
+    Since the memory-tier subsystem landed, ``swap`` is the degenerate
+    two-tier hierarchy: HBM over one *unbounded* host-DRAM tier priced
+    by the policy's interconnect.  The byte ledger deliberately stays
+    the legacy one — ``swapped_bytes``, not the per-tier
+    ``demoted_bytes`` / ``promoted_bytes`` dicts — so existing swap
+    configurations stay byte-identical; new configs that want real
+    capacities or deeper hierarchies pass ``memory_tiers`` instead.
 
     The default ``pcie`` link with no overrides defers to the device's
     latency model, so a bare ``swap`` prices exactly as it always has.
@@ -215,7 +307,6 @@ class SwapPreemption(PreemptionPolicy):
         pcie_latency_us: float = 0.0,
         interconnect: InterconnectLike = "pcie",
     ):
-        super().__init__()
         if pcie_gb_per_s < 0:
             raise ValueError(
                 f"pcie_gb_per_s must be >= 0, got {pcie_gb_per_s}")
@@ -237,52 +328,30 @@ class SwapPreemption(PreemptionPolicy):
                     "explicit interconnect, not both")
             link = PcieInterconnect(
                 gb_per_s=pcie_gb_per_s, latency_us=pcie_latency_us)
+        # The two-tier special case: one unbounded host tier over the
+        # resolved link (gb=0 = unbounded — host memory is not modeled
+        # as scarce, exactly the legacy behaviour).
+        host = DramTier(gb=0.0)
+        host.interconnect = link
+        super().__init__(TierHierarchy([host]))
         self.interconnect = link
         self.pcie_gb_per_s = pcie_gb_per_s
         self.pcie_latency_us = pcie_latency_us
-        #: req_id -> KV bytes parked in host memory.
-        self._swapped: Dict[int, int] = {}
 
     def _transfer_us(self, size: int) -> float:
         return self.interconnect.transfer_us(
             size, self._sim.device.latency)
 
-    def evict(self, request: ServeRequest, requeue: bool = True) -> None:
-        kv = self._sim.kv
-        held = kv.held_bytes(request)
-        if held > 0 and requeue:
-            # Device->host copy happens before the device KV is freed
-            # (the copy needs the source live), so the clock charge
-            # precedes the release.
-            self._sim.session.advance(self._transfer_us(held))
-            kv.metrics.swapped_bytes += held
-            self._swapped[request.req_id] = held
-            kv.release(request)
-        else:
-            # A victim that will not requeue (preemption budget
-            # exhausted) is dropped without paying PCIe for bytes that
-            # can never be swapped back — its KV is discarded outright,
-            # so it lands in the same discard ledger
-            # (``preempt_copy_bytes``) a recompute eviction uses,
-            # keeping cross-policy copy comparisons honest.
-            kv.release(request, preempted=True)
-
-    def restore_us(self, request: ServeRequest, context: int) -> float:
-        held = self._swapped.pop(request.req_id, None)
-        if held is None:
-            # Fresh admission (or a request evicted before it held any
-            # KV): normal prefill.
-            return super().restore_us(request, context)
-        self._sim.kv.metrics.swapped_bytes += held
-        return self._transfer_us(held)
-
-    def forget(self, request: ServeRequest) -> None:
-        self._swapped.pop(request.req_id, None)
+    def _account(self, kv, label: str, size: int, restore: bool) -> None:
+        # The legacy ledger: every byte moved in either direction is a
+        # swapped byte; the per-tier dicts stay empty.
+        del label, restore
+        kv.metrics.swapped_bytes += size
 
     @property
     def swapped_out_requests(self) -> int:
         """Requests currently parked in host memory."""
-        return len(self._swapped)
+        return len(self._parked)
 
 
 @dataclass(frozen=True)

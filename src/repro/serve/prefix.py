@@ -135,6 +135,14 @@ class SharedPagedKVCache(PagedKVCache):
         super().__init__(model, block_tokens)
         self.trie = PrefixTrie()
         self._shared_len: Dict[int, int] = {}  # req_id -> shared head blocks
+        self._hierarchy = None  # optional memtier.TierHierarchy
+
+    def attach_hierarchy(self, hierarchy) -> None:
+        """Attach a :class:`~repro.serve.memtier.TierHierarchy` so
+        pressure-evicted idle shared tails demote to slow memory
+        instead of being dropped, and promote back (a priced transfer)
+        when the prefix is next materialized."""
+        self._hierarchy = hierarchy
 
     # -- admission ------------------------------------------------------
     def admit(self, request: ServeRequest) -> bool:
@@ -208,6 +216,14 @@ class SharedPagedKVCache(PagedKVCache):
             table.append(block)
             added.append(block)
             self._live_blocks += 1
+            if (self._hierarchy is not None
+                    and self._hierarchy.holds(block)):
+                # First touch of a demoted tail: pay the tier transfer
+                # to bring its contents back instead of recomputing.
+                label, size, us = self._hierarchy.promote(block)
+                self._session.advance(us)
+                ledger = self.metrics.promoted_bytes
+                ledger[label] = ledger.get(label, 0) + size
         self.metrics.peak_blocks = max(self.metrics.peak_blocks,
                                        self._live_blocks)
 
@@ -280,6 +296,17 @@ class SharedPagedKVCache(PagedKVCache):
                     break  # tail busy (or path gone): keep this prefix
                 block = self.trie.trim_tail(prefix_id)
                 self._drop_block_ref(block)  # owner ref was last -> frees
+                if self._hierarchy is not None:
+                    placed = self._hierarchy.demote(block, self.block_bytes)
+                    if placed is not None:
+                        # Demote-instead-of-drop: the cold tail's bytes
+                        # move down the hierarchy (clock charged) and
+                        # can be promoted back on the next touch.
+                        label, us = placed
+                        self._session.advance(us)
+                        ledger = self.metrics.demoted_bytes
+                        ledger[label] = ledger.get(label, 0) \
+                            + self.block_bytes
                 freed += self.block_bytes
             if freed >= need_bytes:
                 break

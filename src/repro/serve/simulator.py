@@ -52,7 +52,14 @@ from repro.serve.kvcache import (
     KVCacheMetrics,
     resolve_kv_cache,
 )
-from repro.serve.preemption import PreemptionLike, resolve_preemption
+from repro.serve.memtier import MemoryTiersLike, resolve_memory_tiers
+from repro.serve.preemption import (
+    PreemptionLike,
+    RecomputePreemption,
+    SwapPreemption,
+    TieredPreemption,
+    resolve_preemption,
+)
 from repro.serve.request import REJECT_REASONS, RequestState, ServeRequest
 from repro.serve.metrics import ServingReport, SloConfig
 from repro.serve.scheduler import (
@@ -141,6 +148,8 @@ class ServingResult:
     kv_metrics: Optional[KVCacheMetrics] = None
     preemption_name: str = "recompute"
     gauges: List[GaugePoint] = field(default_factory=list)
+    #: Canonical tier hierarchy this replica served with ("" = none).
+    memory_tiers: str = ""
     _tallies: "Optional[tuple]" = field(default=None, init=False,
                                         repr=False, compare=False)
 
@@ -251,6 +260,17 @@ class ServingResult:
                     self.kv_metrics.shared_bytes / (1 << 20), 1)
                 out["cow_copy_mb"] = round(
                     self.kv_metrics.cow_copy_bytes / (1 << 20), 1)
+            if self.kv_metrics.demoted_bytes:
+                out["demoted_mb"] = round(sum(
+                    self.kv_metrics.demoted_bytes.values()) / (1 << 20), 1)
+                out["promoted_mb"] = round(sum(
+                    self.kv_metrics.promoted_bytes.values()) / (1 << 20), 1)
+                out["demoted_by_tier"] = {
+                    tier: round(size / (1 << 20), 1)
+                    for tier, size in sorted(
+                        self.kv_metrics.demoted_bytes.items())}
+        if self.memory_tiers:
+            out["memory_tiers"] = self.memory_tiers
         return out
 
     def report(self, slo: Optional[SloConfig] = None,
@@ -289,6 +309,7 @@ class ServingSimulator:
         gauges: Optional[GaugeSampler] = None,
         faults: FaultsLike = "none",
         retry: RetryLike = "none",
+        memory_tiers: MemoryTiersLike = "",
     ):
         self.model = get_model(model) if isinstance(model, str) else model
         self.config = config if config is not None else ServingConfig()
@@ -312,7 +333,29 @@ class ServingSimulator:
         self.kv.bind(self.session, self.allocator)
         if trace is not None:
             self.kv.attach_trace(trace, replica_id)
+        # Tiered slow memory (optional).  ``memory_tiers=""`` builds no
+        # hierarchy and leaves every code path byte-identical to the
+        # pre-tier simulator (the committed goldens enforce this).
+        self.hierarchy = resolve_memory_tiers(memory_tiers)
+        if self.hierarchy is not None:
+            self.hierarchy.bind(self.session, self.device)
+            if trace is not None:
+                self.hierarchy.attach_trace(trace, replica_id)
+            if hasattr(self.kv, "attach_hierarchy"):
+                self.kv.attach_hierarchy(self.hierarchy)
         self.preemption = resolve_preemption(preemption)
+        if self.hierarchy is not None:
+            if isinstance(self.preemption, SwapPreemption):
+                raise ValueError(
+                    "memory_tiers generalizes swap preemption's single "
+                    "host hop; pass preemption='recompute' (the default) "
+                    "with a tier hierarchy, or drop memory_tiers to keep "
+                    "legacy swap")
+            if isinstance(self.preemption, RecomputePreemption):
+                # The hierarchy *is* the offload policy: preempted KV
+                # demotes to the shallowest tier with room instead of
+                # being dropped and recomputed.
+                self.preemption = TieredPreemption(self.hierarchy)
         self.preemption.bind(self)
         self._step_count = 0
         # decode_workspace_bytes is a pure function of (model, batch),
@@ -858,6 +901,8 @@ class ServingSimulator:
             preemption_name=self.preemption.name,
             gauges=(self.gauges.series(self.replica_id)
                     if self.gauges is not None else []),
+            memory_tiers=(",".join(self.hierarchy.spec_strings())
+                          if self.hierarchy is not None else ""),
         )
 
     def run(self, requests: Iterable[ServeRequest]) -> ServingResult:
@@ -887,6 +932,7 @@ def run_serving(
     gauges: Optional[GaugeSampler] = None,
     faults: FaultsLike = "none",
     retry: RetryLike = "none",
+    memory_tiers: MemoryTiersLike = "",
 ) -> ServingResult:
     """Convenience wrapper: build one replica and serve ``requests``.
 
@@ -896,10 +942,15 @@ def run_serving(
     ``faults`` / ``retry`` (see :mod:`repro.serve.faults`) opt into
     fault injection; crash victims retry *locally* on a single replica
     (there is nowhere else to go) and hedging is inert without a fleet.
+    ``memory_tiers`` (see :mod:`repro.serve.memtier`) names an optional
+    slow-memory hierarchy below HBM, e.g. ``"dram?gb=64,cxl?gb=256"``
+    — preempted KV and pressure-evicted prefix tails demote into it
+    instead of being dropped.
     """
     simulator = ServingSimulator(model, allocator=allocator,
                                  capacity=capacity, scheduler=scheduler,
                                  config=config, kv_cache=kv_cache,
                                  preemption=preemption, trace=trace,
-                                 gauges=gauges, faults=faults, retry=retry)
+                                 gauges=gauges, faults=faults, retry=retry,
+                                 memory_tiers=memory_tiers)
     return simulator.run(requests)

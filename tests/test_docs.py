@@ -62,6 +62,7 @@ class TestDocsTreeExists:
     @pytest.mark.parametrize("name", [
         "architecture.md", "allocators.md", "serving.md", "experiments.md",
         "performance.md", "observability.md", "robustness.md",
+        "memory_tiers.md",
     ])
     def test_guide_present(self, name):
         assert (DOCS / name).is_file()
@@ -70,7 +71,7 @@ class TestDocsTreeExists:
         readme = (REPO / "README.md").read_text(encoding="utf-8")
         for name in ("architecture.md", "allocators.md", "serving.md",
                      "experiments.md", "performance.md", "observability.md",
-                     "robustness.md"):
+                     "robustness.md", "memory_tiers.md"):
             assert f"docs/{name}" in readme, f"README must link docs/{name}"
 
 
@@ -128,6 +129,7 @@ KIND_DOC = {
     "trace": "observability.md",
     "faults": "serving.md",
     "retry": "serving.md",
+    "memory-tier": "serving.md",
 }
 
 

@@ -53,6 +53,15 @@ class TestExampleSmoke:
         out = capsys.readouterr().out
         assert "Figure 10" in out
 
+    def test_tiered_serving(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv",
+                            ["tiered_serving.py", "opt-1.3b", "12", "60"])
+        load_example("tiered_serving").main()
+        out = capsys.readouterr().out
+        assert "per-tier residency ledger" in out
+        assert "demoted (MB)" in out
+        assert "cxl?gb=16" in out
+
     def test_disagg_serving(self, capsys, monkeypatch):
         monkeypatch.setattr(sys, "argv",
                             ["disagg_serving.py", "opt-1.3b", "6", "30"])

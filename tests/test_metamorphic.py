@@ -18,6 +18,11 @@ output moves the right way (or doesn't move at all):
 - **faults off ≡ baseline**: passing ``faults="none", retry="none"``
   explicitly replays byte-identically to the committed pre-fault
   golden digest;
+- **tiers off ≡ baseline**: passing ``memory_tiers=""`` explicitly
+  replays byte-identically to the committed pre-tier golden digest;
+- **infinite-bandwidth DRAM ≥ recompute**: a free-transfer offload
+  tier can only help — goodput and completions never fall below the
+  recompute-only run on the identical stream;
 - **mttr → 0**: vanishing repair times recover the no-fault fleet's
   completions (and nearly its goodput);
 - **retry budget ↑**: at light load a larger crash-retry budget never
@@ -181,6 +186,47 @@ class TestFaultsOffIsByteIdentical:
             faults="none", retry="none")
         assert serving_digest(result) \
             == goldens["serve/caching-paged-memaware-mmpp"]
+
+
+class TestTiersOffIsByteIdentical:
+    def test_explicit_empty_tiers_match_committed_golden(self):
+        """``memory_tiers=""`` must be the identity: the committed
+        pre-tier golden scenario replays to the same full digest —
+        counters, float timings and the MD5 over every request
+        lifecycle — with the gate passed explicitly."""
+        goldens = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+        arrivals = MMPPArrivals(rate_calm_per_s=4.0, rate_burst_per_s=16.0,
+                                mean_dwell_s=10.0)
+        stream = arrivals.generate(
+            100, LengthSampler(mean_prompt=512, mean_output=256), seed=0)
+        result = run_serving(
+            stream, MODEL, allocator="caching", capacity=8 * GB,
+            scheduler="memory-aware", kv_cache="paged?block_tokens=16",
+            memory_tiers="")
+        assert serving_digest(result) \
+            == goldens["serve/caching-paged-memaware-mmpp"]
+
+
+class TestTierLimits:
+    def _run(self, memory_tiers):
+        stream = PoissonArrivals(rate_per_s=8.0).generate(60, seed=7)
+        return run_serving(
+            stream, MODEL, allocator="caching", capacity=3 * GB,
+            scheduler="memory-aware", kv_cache="paged?block_tokens=16",
+            config=ServingConfig(max_batch=32, queue_timeout_s=60.0),
+            memory_tiers=memory_tiers)
+
+    def test_free_transfers_never_hurt_goodput(self):
+        """An unbounded DRAM tier with (near-)infinite bandwidth and
+        vanishing setup latency makes offload preemption free:
+        restoration costs ~nothing where recompute re-runs prefill, so
+        completions and goodput can only improve."""
+        recompute = self._run("").report()
+        free = self._run(
+            "dram?gb=0&gb_per_s=1e9&latency_us=1e-9").report()
+        assert free.completed >= recompute.completed
+        assert free.goodput_req_s >= recompute.goodput_req_s
+        assert recompute.preemptions > 0     # the axis actually engaged
 
 
 class TestFaultLimits:
